@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper (DESIGN.md §3
+maps experiment ids to modules).  ``REPRO_BENCH_SCALE`` ∈ {smoke, quick,
+full} controls problem sizes; the default (quick) finishes on a laptop.
+
+Benchmarks print the reproduced rows/series to stdout — run with ``-s``
+(or read the captured output) to see the paper-style tables.
+"""
+
+import pytest
+
+from repro.bench.scale import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    active = current_scale()
+    print(f"\n[repro] benchmark scale: {active.name}")
+    return active

@@ -1,0 +1,25 @@
+"""Ablation — signature batching (§VI-A).
+
+The paper: "we use one signature per batch of 256 payments.  With this
+batch size, Astro II's performance is only limited by available
+bandwidth."  The ablation sweeps the batch size and asserts that
+amortizing signatures is what keeps crypto off the critical path.
+"""
+
+from repro.bench.ablations import run_batching_ablation
+
+
+def test_ablation_batching(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_batching_ablation(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    peaks = dict(zip(result.batch_sizes, result.peaks))
+    # Throughput grows monotonically-ish with batch size; the paper's 256
+    # configuration beats unbatched by a wide margin.
+    assert peaks[256] > 4.0 * peaks[1], (
+        f"batching should dominate unbatched broadcast: {peaks}"
+    )
+    assert peaks[256] >= peaks[16]

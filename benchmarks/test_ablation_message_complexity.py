@@ -1,0 +1,32 @@
+"""Ablation — BRB message complexity (§IV-A).
+
+Astro I's Bracha broadcast is O(N²) messages; Astro II's signed broadcast
+is O(N).  Counts actual wire messages per settled payment and asserts the
+asymptotic gap widens with the system size.
+"""
+
+from repro.bench.ablations import run_message_complexity_ablation
+
+
+def test_ablation_message_complexity(benchmark, scale):
+    sizes = (4, 10, 22) if scale.name == "smoke" else (4, 10, 22, 46)
+    result = benchmark.pedantic(
+        lambda: run_message_complexity_ablation(sizes=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.table())
+
+    astro1 = result.messages_per_payment["astro1"]
+    astro2 = result.messages_per_payment["astro2"]
+
+    # Astro I sends strictly more messages per payment at every size.
+    for index, size in enumerate(result.sizes):
+        assert astro1[index] > astro2[index], (
+            f"O(N^2) vs O(N) violated at N={size}"
+        )
+
+    # The ratio grows with N (quadratic vs linear).
+    ratios = [a1 / a2 for a1, a2 in zip(astro1, astro2)]
+    assert ratios[-1] > ratios[0], f"complexity gap should widen: {ratios}"

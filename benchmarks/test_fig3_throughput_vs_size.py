@@ -1,0 +1,44 @@
+"""Fig. 3 — peak throughput vs system size (§VI-C1).
+
+Regenerates the paper's log-scale throughput curves for the three
+systems and asserts the qualitative claims:
+
+* both Astro variants beat the consensus baseline at every size;
+* Astro II beats Astro I at every size;
+* throughput decays as the system grows (quorum systems).
+"""
+
+from repro.bench.fig3 import run_fig3
+
+
+def test_fig3_throughput_vs_size(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig3(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    bft = result.peaks["bft"]
+    astro1 = result.peaks["astro1"]
+    astro2 = result.peaks["astro2"]
+    for index, size in enumerate(result.sizes):
+        assert astro1[index] > bft[index], (
+            f"Astro I must outperform consensus at N={size}: "
+            f"{astro1[index]:.0f} vs {bft[index]:.0f}"
+        )
+        assert astro2[index] > bft[index], (
+            f"Astro II must outperform consensus at N={size}: "
+            f"{astro2[index]:.0f} vs {bft[index]:.0f}"
+        )
+        assert astro2[index] > astro1[index], (
+            f"Astro II must outperform Astro I at N={size}: "
+            f"{astro2[index]:.0f} vs {astro1[index]:.0f}"
+        )
+    # Decay with system size: smallest size beats largest for each system.
+    for name, series in result.peaks.items():
+        assert series[0] > series[-1], (
+            f"{name} throughput should decay with system size: {series}"
+        )
+    # Order-of-magnitude check at the largest size: the paper reports a
+    # >=6x Astro I and >=16x Astro II advantage at N=100; require >=3x.
+    assert astro2[-1] / bft[-1] >= 3.0

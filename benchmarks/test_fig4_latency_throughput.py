@@ -1,0 +1,46 @@
+"""Fig. 4 — latency vs throughput at the largest size (§VI-C1).
+
+Asserts the paper's qualitative claims: Astro II exhibits the lowest
+latency at comparable load, and every system's latency grows toward its
+saturation point.
+"""
+
+import math
+
+from repro.bench.fig4 import run_fig4
+
+
+def test_fig4_latency_throughput(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig4(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    for name, curve in result.curves.items():
+        assert curve, f"no latency points measured for {name}"
+        for throughput, mean, p95 in curve:
+            assert throughput > 0
+            assert 0 < mean <= p95 < 60.0
+
+    # Latency rises toward saturation: the last point of each curve is
+    # slower than the first (curves are sampled from low to peak load).
+    for name, curve in result.curves.items():
+        if len(curve) >= 2:
+            assert curve[-1][2] >= curve[0][2] * 0.8, (
+                f"{name}: tail latency should not improve at saturation"
+            )
+
+    # Astro II beats Astro I at comparable (low) load.
+    first_p95 = {name: curve[0][2] for name, curve in result.curves.items()}
+    assert first_p95["astro2"] <= first_p95["astro1"]
+
+    # The headline Fig. 4 claim: Astro II's curve extends to far higher
+    # throughput than the baseline's while staying inside the latency
+    # envelope (the paper's curves end at ~5K vs ~334 pps).
+    max_throughput = {
+        name: max(point[0] for point in curve)
+        for name, curve in result.curves.items()
+    }
+    assert max_throughput["astro2"] > 2.0 * max_throughput["bft"]
+    assert max_throughput["astro1"] > max_throughput["bft"]

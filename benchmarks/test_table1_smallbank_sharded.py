@@ -1,0 +1,44 @@
+"""Table I — Smallbank sharded benchmark (§VI-C2).
+
+Regenerates the paper's table: per-shard and total throughput plus
+average/p95 latency for 2/3/4 shards, with and without the extra 20 ms
+inter-replica delay; the BFT-SMaRt column is the same optimistic
+single-shard upper bound the paper uses.
+"""
+
+from repro.bench.table1 import run_table1
+
+
+def test_table1_smallbank_sharded(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_table1(scale=scale), rounds=1, iterations=1
+    )
+    print()
+    print(result.table())
+
+    rows = result.rows
+    by_key = {(row.shards, row.tc_delay_ms): row for row in rows}
+    shard_counts = sorted({row.shards for row in rows})
+
+    # Total throughput scales with the number of shards (near-linear).
+    for delay in (0.0, 20.0):
+        totals = [by_key[(s, delay)].total_kpps for s in shard_counts
+                  if (s, delay) in by_key]
+        for earlier, later in zip(totals, totals[1:]):
+            assert later > earlier, (
+                f"total throughput must grow with shards (tc={delay}): {totals}"
+            )
+
+    # The 20 ms delay hurts latency at every shard count.
+    for shards in shard_counts:
+        if (shards, 0.0) in by_key and (shards, 20.0) in by_key:
+            assert (
+                by_key[(shards, 20.0)].latency_avg_ms
+                > by_key[(shards, 0.0)].latency_avg_ms
+            )
+
+    # Astro II's totals dominate the consensus upper bound (paper: ~5x).
+    for row in rows:
+        assert row.total_kpps > row.bft_total_kpps, (
+            f"Astro II should beat the BFT upper bound: {row}"
+        )

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Online Payments by Merely Broadcasting Messages"
+(Astro, DSN 2020).
+
+Astro is a decentralized, deterministic, fully asynchronous payment
+system built on Byzantine reliable broadcast instead of consensus.  This
+package provides:
+
+* :mod:`repro.core` — the payment protocol: exclusive logs, Astro I
+  (Bracha BRB) and Astro II (signed BRB + dependency certificates), and
+  asynchronous sharding;
+* :mod:`repro.brb` — the two Byzantine reliable broadcast protocols and
+  the batching layer;
+* :mod:`repro.consensus` — the BFT-SMaRt-style leader-based baseline;
+* :mod:`repro.reconfig` — consensusless membership reconfiguration;
+* :mod:`repro.sim` — the deterministic discrete-event network simulator
+  the protocols run on;
+* :mod:`repro.crypto` — simulated signatures/MACs with a CPU cost model;
+* :mod:`repro.workloads` — uniform and Smallbank workloads, load drivers;
+* :mod:`repro.bench` — one experiment per table/figure of the paper.
+
+Quickstart::
+
+    from repro import Astro2System
+
+    system = Astro2System(num_replicas=4, genesis={"alice": 100, "bob": 0})
+    system.submit("alice", "bob", 25)
+    system.settle_all()
+    assert system.replica(0).balance_of("alice") == 75
+"""
+
+from .consensus import BftConfig, BftSystem
+from .core import (
+    Astro1System,
+    Astro2System,
+    AstroConfig,
+    ClientNode,
+    Directory,
+    ExclusiveLog,
+    Payment,
+)
+from .sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Astro1System",
+    "Astro2System",
+    "AstroConfig",
+    "ClientNode",
+    "Directory",
+    "ExclusiveLog",
+    "Payment",
+    "BftConfig",
+    "BftSystem",
+    "Simulator",
+    "__version__",
+]

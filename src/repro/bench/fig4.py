@@ -1,0 +1,90 @@
+"""Fig. 4 — latency vs throughput at the largest system size (§VI-C1).
+
+Paper observations at N=100: the consensus baseline runs at sub-second
+average latency (p95 1.3–1.5 s) up to ≈334 pps; Astro I sits at
+400–500 ms up to ≈2K pps; Astro II at ≈200 ms average (p95 <240 ms at low
+load) up to ≈5K pps.  The reproduced claims: Astro II has the lowest and
+flattest latency curve, Astro I sits between, and each system's curve
+bends upward as it approaches its Fig. 3 saturation point.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .peak import find_peak
+from .report import format_table
+from .runner import run_open_loop
+from .scale import BenchScale, current_scale
+from .systems import build_astro1, build_astro2, build_bft
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+_BUILDERS = {"bft": build_bft, "astro1": build_astro1, "astro2": build_astro2}
+_START_RATES = {"bft": 400.0, "astro1": 2000.0, "astro2": 4000.0}
+
+
+@dataclass
+class Fig4Result:
+    size: int
+    #: system -> list of (throughput pps, mean latency s, p95 latency s)
+    curves: Dict[str, List[Tuple[float, float, float]]]
+
+    def table(self) -> str:
+        headers = ["system", "throughput (pps)", "mean latency (ms)", "p95 (ms)"]
+        rows = []
+        for name, curve in self.curves.items():
+            for throughput, mean, p95 in curve:
+                rows.append(
+                    [name, f"{throughput:.0f}", f"{mean * 1e3:.0f}", f"{p95 * 1e3:.0f}"]
+                )
+        return format_table(
+            headers, rows,
+            title=f"Fig. 4 — latency/throughput at N={self.size}",
+        )
+
+
+def run_fig4(
+    size: int = 0,
+    points: int = 0,
+    seed: int = 0,
+    scale: BenchScale = None,
+    systems: Sequence[str] = ("bft", "astro1", "astro2"),
+) -> Fig4Result:
+    if scale is None:
+        scale = current_scale()
+    if size == 0:
+        size = scale.fig4_size
+    if points == 0:
+        points = scale.fig4_rates_per_system
+    curves: Dict[str, List[Tuple[float, float, float]]] = {}
+    for name in systems:
+        factory = functools.partial(_BUILDERS[name], size, seed=seed)
+        peak = find_peak(
+            factory,
+            start_rate=_START_RATES[name],
+            duration=scale.peak_duration,
+            warmup=scale.peak_warmup,
+            refine_steps=2,
+            seed=seed,
+        )
+        curve: List[Tuple[float, float, float]] = []
+        for step in range(1, points + 1):
+            rate = peak.peak_pps * step / points
+            if rate < 1:
+                continue
+            result = run_open_loop(
+                factory(),
+                rate=rate,
+                duration=scale.peak_duration,
+                warmup=scale.peak_warmup,
+                seed=seed,
+            )
+            if result.latency.count:
+                curve.append(
+                    (result.achieved, result.latency.mean, result.latency.p95)
+                )
+        curves[name] = curve
+    return Fig4Result(size=size, curves=curves)

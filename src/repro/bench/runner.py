@@ -1,0 +1,81 @@
+"""Open-loop measurement runs: offered rate in, throughput/latency out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from ..sim.metrics import LatencyRecorder, LatencySummary, ThroughputMeter
+from ..workloads.drivers import OpenLoopDriver
+from ..workloads.uniform import UniformWorkload
+from .systems import client_ids_of
+
+__all__ = ["RunResult", "run_open_loop"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one measured open-loop window."""
+
+    offered: float
+    achieved: float
+    latency: LatencySummary
+    injected: int
+    confirmed: int
+    duration: float
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Achieved/offered — < 1 means the system is saturated."""
+        if self.offered <= 0:
+            return 0.0
+        return self.achieved / self.offered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p95 = self.latency.p95 * 1e3 if self.latency.count else float("nan")
+        return (
+            f"<RunResult offered={self.offered:.0f}pps "
+            f"achieved={self.achieved:.0f}pps p95={p95:.0f}ms>"
+        )
+
+
+def run_open_loop(
+    system: Any,
+    rate: float,
+    duration: float = 2.0,
+    warmup: float = 1.0,
+    drain: float = 0.5,
+    workload: Optional[Any] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Drive ``system`` at ``rate`` payments/sec; measure the steady window.
+
+    The measured window is [warmup, warmup+duration); the run continues
+    ``drain`` seconds longer so confirmations of late submissions inside
+    the window are still observed.
+    """
+    if workload is None:
+        workload = UniformWorkload(client_ids_of(system), seed=seed)
+    meter = ThroughputMeter(bucket_width=0.25)
+    window_start = system.sim.now + warmup
+    window_end = window_start + duration
+    recorder = LatencyRecorder(window_start, window_end)
+    driver = OpenLoopDriver(
+        system,
+        workload,
+        rate=rate,
+        duration=warmup + duration,
+        start=system.sim.now,
+        meter=meter,
+        recorder=recorder,
+    )
+    system.run(window_end + drain)
+    achieved = meter.rate(window_start, window_end)
+    return RunResult(
+        offered=rate,
+        achieved=achieved,
+        latency=recorder.summary(),
+        injected=driver.injected,
+        confirmed=driver.confirmed,
+        duration=duration,
+    )

@@ -1,0 +1,97 @@
+"""Robustness timelines (Figs. 5–7): per-second throughput under faults.
+
+Reproduces the paper's §VI-D methodology: closed-loop clients (one request
+in flight each), a warm-up period, a fault injected mid-run (crash-stop or
+100 ms egress delay), and the per-second settled-payment series over the
+observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..sim.metrics import LatencyRecorder, ThroughputMeter
+from ..workloads.drivers import ClosedLoopDriver
+from ..workloads.uniform import UniformWorkload
+from .systems import client_ids_of
+
+__all__ = ["TimelineResult", "run_timeline"]
+
+
+@dataclass
+class TimelineResult:
+    """Per-second throughput series plus summary statistics."""
+
+    series: List[float]
+    window_start: float
+    fault_at: Optional[float]
+    completed: int
+
+    def average(self, start: int = 0, end: Optional[int] = None) -> float:
+        segment = self.series[start:end]
+        if not segment:
+            return 0.0
+        return sum(segment) / len(segment)
+
+    def before_fault(self) -> float:
+        """Mean throughput in the pre-fault portion of the window."""
+        if self.fault_at is None:
+            return self.average()
+        split = int(self.fault_at - self.window_start)
+        return self.average(0, max(split, 1))
+
+    def after_fault(self, settle_gap: int = 2) -> float:
+        """Mean throughput after the fault (skipping ``settle_gap`` s)."""
+        if self.fault_at is None:
+            return self.average()
+        split = int(self.fault_at - self.window_start) + settle_gap
+        return self.average(split)
+
+    def min_after_fault(self) -> float:
+        if self.fault_at is None:
+            return min(self.series) if self.series else 0.0
+        split = int(self.fault_at - self.window_start)
+        tail = self.series[split:]
+        return min(tail) if tail else 0.0
+
+
+def run_timeline(
+    system: Any,
+    num_clients: int = 10,
+    warmup: float = 20.0,
+    window: float = 40.0,
+    fault: Optional[Callable[[Any, float], None]] = None,
+    fault_offset: float = 10.0,
+    seed: int = 0,
+    clients: Optional[Sequence] = None,
+) -> TimelineResult:
+    """Run the §VI-D experiment shape on ``system``.
+
+    ``fault(system, at_time)`` — e.g. ``lambda s, t: s.faults.crash(0, t)``
+    — is scheduled ``fault_offset`` seconds into the observation window
+    (the paper warms up 20 s and injects at 30 s).
+    """
+    population = list(clients) if clients is not None else client_ids_of(system)
+    active = population[:num_clients]
+    workload = UniformWorkload(population, seed=seed)
+    meter = ThroughputMeter(bucket_width=1.0)
+    end = warmup + window
+    driver = ClosedLoopDriver(
+        system,
+        active,
+        workload,
+        stop_at=end,
+        meter=meter,
+    )
+    fault_at: Optional[float] = None
+    if fault is not None:
+        fault_at = warmup + fault_offset
+        fault(system, fault_at)
+    system.run(end)
+    return TimelineResult(
+        series=meter.series(warmup, end),
+        window_start=warmup,
+        fault_at=fault_at,
+        completed=driver.completed,
+    )

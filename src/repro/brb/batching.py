@@ -1,0 +1,152 @@
+"""Payment batching for the broadcast layer (§VI-A).
+
+Both Astro variants batch at the level of the broadcast protocol: the
+replica sending a PREPARE assembles a batch of payments — potentially from
+different clients — to amortize authentication and network overheads.
+Astro II adds a second level: payments inside a batch are segregated into
+*sub-batches* by the representative replica of their beneficiary, so one
+CREDIT signature covers a whole sub-batch.
+
+The paper's configuration signs one batch of up to 256 payments (§VI-A);
+:data:`DEFAULT_BATCH_SIZE` matches that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+from ..crypto.hashing import Digest, digest
+from ..sim.events import Event, Simulator
+
+__all__ = ["Batch", "Batcher", "group_by_representative", "DEFAULT_BATCH_SIZE",
+           "DEFAULT_BATCH_DELAY"]
+
+#: Paper's batch size: one signature per 256 payments (§VI-A).
+DEFAULT_BATCH_SIZE = 256
+
+#: Maximum time a payment waits for its batch to fill before the batch is
+#: flushed anyway.  Keeps latency bounded at low load.
+DEFAULT_BATCH_DELAY = 0.01
+
+T = TypeVar("T")
+
+
+class Batch:
+    """An immutable batch of payments broadcast as one BRB payload."""
+
+    __slots__ = ("items", "batch_items", "size_bytes", "_digest")
+
+    #: Wire size of one payment: spender, beneficiary, amount, sequence
+    #: number, and client authentication data — "roughly 100 bytes" (§VI-B).
+    PAYMENT_BYTES = 100
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        if not items:
+            raise ValueError("a batch must contain at least one payment")
+        self.items: Tuple[Any, ...] = tuple(items)
+        self.batch_items = len(self.items)
+        self.size_bytes = sum(
+            getattr(item, "wire_bytes", self.PAYMENT_BYTES) for item in self.items
+        )
+        self._digest: Optional[Digest] = None
+
+    @property
+    def cached_digest(self) -> Digest:
+        """Digest of the batch content, computed once per object.
+
+        Caching per object is sound because batches are immutable: an
+        equivocating broadcaster necessarily creates distinct objects for
+        its distinct payloads.
+        """
+        if self._digest is None:
+            self._digest = digest(self)
+        return self._digest
+
+    def canonical(self) -> tuple:
+        return tuple(
+            item.canonical() if hasattr(item, "canonical") else item
+            for item in self.items
+        )
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return self.batch_items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Batch n={self.batch_items}>"
+
+
+class Batcher(Generic[T]):
+    """Accumulates items and flushes them as batches.
+
+    Flushes when ``max_size`` items accumulate or ``max_delay`` elapses
+    since the first pending item, whichever comes first.  ``flush_fn``
+    receives the list of items.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flush_fn: Callable[[List[T]], None],
+        max_size: int = DEFAULT_BATCH_SIZE,
+        max_delay: float = DEFAULT_BATCH_DELAY,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.sim = sim
+        self.flush_fn = flush_fn
+        self.max_size = max_size
+        self.max_delay = max_delay
+        self._pending: List[T] = []
+        self._timer: Optional[Event] = None
+        self.batches_flushed = 0
+
+    def add(self, item: T) -> None:
+        self._pending.append(item)
+        if len(self._pending) >= self.max_size:
+            self.flush()
+        elif self._timer is None:
+            self._timer = self.sim.schedule(self.max_delay, self._on_timer)
+
+    def add_many(self, items: Sequence[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if self._pending:
+            self.flush()
+
+    def flush(self) -> None:
+        """Flush pending items immediately (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        items, self._pending = self._pending, []
+        self.batches_flushed += 1
+        self.flush_fn(items)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+def group_by_representative(
+    items: Sequence[T], representative_of: Callable[[T], Hashable]
+) -> Dict[Hashable, List[T]]:
+    """Astro II's second batching level (§VI-A).
+
+    Splits a batch into sub-batches keyed by the representative replica of
+    each payment's beneficiary; the settling replica then produces one
+    CREDIT signature per sub-batch instead of one per payment.
+    """
+    groups: Dict[Hashable, List[T]] = {}
+    for item in items:
+        groups.setdefault(representative_of(item), []).append(item)
+    return groups

@@ -1,0 +1,266 @@
+"""Bracha's Byzantine reliable broadcast — the Astro I broadcast layer.
+
+Implements Listing 5 of the paper (based on Bracha & Toueg [18], [19]):
+
+1. **PREPARE** — the broadcaster sends the payload to all replicas.
+2. **ECHO** — the first time a replica sees an identifier, it echoes the
+   payload to all replicas.
+3. **READY** — on a Byzantine quorum of matching ECHOes (or f+1 matching
+   READYs, the amplification rule), a replica sends READY to all; it
+   delivers after 2f+1 matching READYs, in FIFO order per origin.
+
+ECHO and READY carry the full payload (as in Listing 5), giving the
+protocol its O(N²·|a|) bandwidth — the reason Astro I trails Astro II in
+WAN settings (§IV-A).  Links are MAC-authenticated; the network substrate
+already prevents spoofing, and MAC verification CPU cost is charged per
+message.  Bracha's protocol provides **totality**: once any correct
+replica delivers, READY amplification drags every correct replica along.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..crypto import costs
+from ..crypto.hashing import Digest, digest
+from ..sim.node import Node
+from .interface import BroadcastLayer, DeliverFn
+from .quorums import byzantine_quorum, max_faulty
+
+__all__ = ["BrachaBroadcast", "BrbPrepare", "BrbEcho", "BrbReady"]
+
+#: Wire overhead of a protocol message (headers + MAC tag).
+_HEADER_BYTES = 48
+
+
+class BrbPrepare:
+    __slots__ = ("seq", "payload", "size")
+
+    def __init__(self, seq: int, payload: Any, size: int) -> None:
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+
+
+class BrbEcho:
+    __slots__ = ("origin", "seq", "payload", "size")
+
+    def __init__(self, origin: int, seq: int, payload: Any, size: int) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+
+
+class BrbReady:
+    __slots__ = ("origin", "seq", "payload", "size")
+
+    def __init__(self, origin: int, seq: int, payload: Any, size: int) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+
+
+class _Instance:
+    """Per-identifier protocol state at one replica."""
+
+    __slots__ = ("echo_sent", "ready_sent", "echoes", "readys", "delivered")
+
+    def __init__(self) -> None:
+        self.echo_sent = False
+        self.ready_sent = False
+        #: digest -> (payload, set of replicas that echoed it)
+        self.echoes: Dict[Digest, Tuple[Any, Set[int]]] = {}
+        self.readys: Dict[Digest, Tuple[Any, Set[int]]] = {}
+        self.delivered = False
+
+
+def _payload_items(payload: Any) -> int:
+    """Number of hashable items in a payload (1 for non-batches)."""
+    return getattr(payload, "batch_items", 1)
+
+
+def _payload_digest(payload: Any) -> Digest:
+    """Payload digest, using the payload's cached value when available."""
+    cached = getattr(payload, "cached_digest", None)
+    if cached is not None:
+        return cached
+    return digest(payload)
+
+
+class BrachaBroadcast(BroadcastLayer):
+    """Bracha BRB endpoint attached to one replica node."""
+
+    provides_totality = True
+
+    def __init__(
+        self,
+        node: Node,
+        peers: Sequence[int],
+        deliver: DeliverFn,
+        f: Optional[int] = None,
+        fifo: bool = True,
+    ) -> None:
+        self.node = node
+        self.peers: List[int] = list(peers)
+        if node.node_id not in self.peers:
+            raise ValueError("broadcast endpoint must be a member of its peer set")
+        self.deliver_fn = deliver
+        self.n = len(self.peers)
+        self.f = f if f is not None else max_faulty(self.n)
+        self.echo_quorum = byzantine_quorum(self.n, self.f)
+        self.ready_quorum = 2 * self.f + 1
+        self.amplify_threshold = self.f + 1
+        self.fifo = fifo
+        self._instances: Dict[Tuple[int, int], _Instance] = {}
+        #: Per-origin: highest contiguously delivered sequence number.
+        self._delivered_up_to: Dict[int, int] = {}
+        #: Out-of-order complete payloads awaiting FIFO drain.
+        self._completed: Dict[int, Dict[int, Any]] = {}
+        self._delivered_count = 0
+        node.on(BrbPrepare, self._on_prepare)
+        node.on(BrbEcho, self._on_echo)
+        node.on(BrbReady, self._on_ready)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def broadcast(self, seq: int, payload: Any, payload_bytes: int) -> None:
+        """PREPARE phase: send the payload to all replicas (Listing 5 l.2)."""
+        size = _HEADER_BYTES + payload_bytes
+        message = BrbPrepare(seq, payload, size)
+        cost = self._payload_recv_cost(size, payload)
+        for dst in self.peers:
+            if dst == self.node.node_id:
+                continue
+            self.node.send(
+                dst, message, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
+            )
+        # Local short-circuit: the broadcaster processes its own PREPARE.
+        self._handle_prepare(self.node.node_id, message)
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered_count
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _payload_recv_cost(size: int, payload: Any) -> float:
+        """CPU to receive+authenticate+hash a payload-carrying message."""
+        return (
+            costs.MESSAGE_OVERHEAD
+            + costs.PER_BYTE_CPU * size
+            + costs.MAC_VERIFY
+            + costs.HASH_PER_PAYMENT * _payload_items(payload)
+        )
+
+    @staticmethod
+    def _control_recv_cost(size: int) -> float:
+        """CPU to receive an ECHO/READY (payload already hashed once)."""
+        return costs.MESSAGE_OVERHEAD + costs.PER_BYTE_CPU * size + costs.MAC_VERIFY
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _instance(self, origin: int, seq: int) -> _Instance:
+        key = (origin, seq)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = _Instance()
+            self._instances[key] = instance
+        return instance
+
+    def _on_prepare(self, src: int, message: BrbPrepare) -> None:
+        self._handle_prepare(src, message)
+
+    def _handle_prepare(self, src: int, message: BrbPrepare) -> None:
+        # The origin of a PREPARE is its (authenticated) sender, so a
+        # Byzantine replica cannot broadcast under another identity.
+        instance = self._instance(src, message.seq)
+        if instance.echo_sent:
+            return
+        instance.echo_sent = True
+        echo = BrbEcho(src, message.seq, message.payload, message.size)
+        self._send_and_self_apply(echo, self._apply_echo)
+
+    def _on_echo(self, src: int, message: BrbEcho) -> None:
+        self._apply_echo(src, message)
+
+    def _apply_echo(self, src: int, message: BrbEcho) -> None:
+        instance = self._instance(message.origin, message.seq)
+        payload_digest = _payload_digest(message.payload)
+        entry = instance.echoes.get(payload_digest)
+        if entry is None:
+            entry = (message.payload, set())
+            instance.echoes[payload_digest] = entry
+        entry[1].add(src)
+        if len(entry[1]) >= self.echo_quorum and not instance.ready_sent:
+            instance.ready_sent = True
+            ready = BrbReady(message.origin, message.seq, message.payload, message.size)
+            self._send_and_self_apply(ready, self._apply_ready)
+
+    def _on_ready(self, src: int, message: BrbReady) -> None:
+        self._apply_ready(src, message)
+
+    def _apply_ready(self, src: int, message: BrbReady) -> None:
+        instance = self._instance(message.origin, message.seq)
+        payload_digest = _payload_digest(message.payload)
+        entry = instance.readys.get(payload_digest)
+        if entry is None:
+            entry = (message.payload, set())
+            instance.readys[payload_digest] = entry
+        entry[1].add(src)
+        count = len(entry[1])
+        if count >= self.amplify_threshold and not instance.ready_sent:
+            # Amplification: join the READY wave without having seen the
+            # echo quorum ourselves (Listing 5 l.26-29).  This is what
+            # gives Bracha its totality property.
+            instance.ready_sent = True
+            ready = BrbReady(message.origin, message.seq, message.payload, message.size)
+            self._send_and_self_apply(ready, self._apply_ready)
+        if count >= self.ready_quorum and not instance.delivered:
+            instance.delivered = True
+            self._complete(message.origin, message.seq, message.payload)
+
+    # ------------------------------------------------------------------
+    # Delivery (FIFO per origin, Listing 5 l.32)
+    # ------------------------------------------------------------------
+    def _complete(self, origin: int, seq: int, payload: Any) -> None:
+        if not self.fifo:
+            self._delivered_count += 1
+            self.deliver_fn(origin, seq, payload)
+            return
+        pending = self._completed.setdefault(origin, {})
+        pending[seq] = payload
+        delivered_up_to = self._delivered_up_to.get(origin, 0)
+        while delivered_up_to + 1 in pending:
+            delivered_up_to += 1
+            ready_payload = pending.pop(delivered_up_to)
+            self._delivered_count += 1
+            self.deliver_fn(origin, delivered_up_to, ready_payload)
+        self._delivered_up_to[origin] = delivered_up_to
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_and_self_apply(
+        self, message: Any, apply: Callable[[int, Any], None]
+    ) -> None:
+        """Send to all peers and count our own vote locally.
+
+        Real implementations do not loop a message through their own
+        network stack; applying locally also keeps event counts down.
+        """
+        cost = self._control_recv_cost(message.size)
+        me = self.node.node_id
+        for dst in self.peers:
+            if dst == me:
+                continue
+            self.node.send(
+                dst, message, size=message.size, recv_cost=cost,
+                send_cost=costs.SEND_OVERHEAD,
+            )
+        apply(me, message)

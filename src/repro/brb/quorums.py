@@ -1,0 +1,32 @@
+"""Byzantine quorum arithmetic (Malkhi & Reiter [60]).
+
+All protocols in the paper assume N replicas of which f < N/3 may be
+Byzantine, with the optimal threshold N = 3f + 1 used in the evaluation
+(§VI-A).  Quorums are sized so any two intersect in at least one correct
+replica.
+"""
+
+from __future__ import annotations
+
+__all__ = ["max_faulty", "byzantine_quorum", "validate_system_size"]
+
+
+def max_faulty(n: int) -> int:
+    """Largest f tolerated by n replicas (f < n/3)."""
+    return (n - 1) // 3
+
+
+def byzantine_quorum(n: int, f: int) -> int:
+    """Smallest quorum size with correct-replica intersection.
+
+    ``ceil((n + f + 1) / 2)``; equals the familiar 2f+1 when n = 3f+1.
+    """
+    return (n + f) // 2 + 1
+
+
+def validate_system_size(n: int, f: int) -> None:
+    """Raise if n replicas cannot tolerate f Byzantine failures."""
+    if f < 0:
+        raise ValueError(f"f must be non-negative, got {f}")
+    if n < 3 * f + 1:
+        raise ValueError(f"need n >= 3f+1 replicas, got n={n}, f={f}")

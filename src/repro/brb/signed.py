@@ -1,0 +1,296 @@
+"""Signature-based Byzantine reliable broadcast — the Astro II layer.
+
+Implements Listing 6 of the paper (inspired by Malkhi & Reiter [61]),
+with O(N) message complexity:
+
+1. **PREPARE** — the broadcaster sends the payload to all replicas.
+2. **ACK** — a replica that has not previously seen a *different* payload
+   for the identifier signs the payload digest and unicasts the signed ACK
+   back to the broadcaster.
+3. **COMMIT** — on a Byzantine quorum (2f+1) of matching ACKs, the
+   broadcaster sends everyone a COMMIT carrying the gathered signatures;
+   a replica delivers after verifying the certificate.
+
+Agreement holds because two conflicting payloads cannot both gather 2f+1
+ACKs (quorum intersection contains a correct replica, which ACKs one
+payload per identifier).  The protocol deliberately **lacks totality**: a
+Byzantine broadcaster may send COMMIT to only a subset of replicas.
+Astro II compensates at the payment layer with CREDIT dependency
+certificates (§IV-A), which this module does not know about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..crypto import costs
+from ..crypto.hashing import Digest, digest
+from ..crypto.keys import Keychain, KeyPair, replica_owner
+from ..crypto.signatures import Signature, sign, verify
+from ..sim.node import Node
+from .interface import BroadcastLayer, DeliverFn
+from .quorums import byzantine_quorum, max_faulty
+
+__all__ = ["SignedBroadcast", "SbPrepare", "SbAck", "SbCommit"]
+
+_HEADER_BYTES = 48
+_ACK_BYTES = _HEADER_BYTES + costs.SIGNATURE_BYTES
+#: Per-signature wire cost inside a COMMIT certificate (sig + signer id).
+_CERT_ENTRY_BYTES = costs.SIGNATURE_BYTES + 8
+
+
+class SbPrepare:
+    __slots__ = ("seq", "payload", "size")
+
+    def __init__(self, seq: int, payload: Any, size: int) -> None:
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+
+
+class SbAck:
+    __slots__ = ("origin", "seq", "payload_digest", "signature")
+
+    def __init__(
+        self, origin: int, seq: int, payload_digest: Digest, signature: Signature
+    ) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.payload_digest = payload_digest
+        self.signature = signature
+
+
+class SbCommit:
+    __slots__ = ("origin", "seq", "payload_digest", "proof", "size")
+
+    def __init__(
+        self,
+        origin: int,
+        seq: int,
+        payload_digest: Digest,
+        proof: Tuple[Signature, ...],
+        size: int,
+    ) -> None:
+        self.origin = origin
+        self.seq = seq
+        self.payload_digest = payload_digest
+        self.proof = proof
+        self.size = size
+
+
+def _ack_content(origin: int, seq: int, payload_digest: Digest) -> tuple:
+    """The statement an ACK signature endorses."""
+    return ("brb-ack", origin, seq, payload_digest)
+
+
+def _payload_items(payload: Any) -> int:
+    return getattr(payload, "batch_items", 1)
+
+
+def _payload_digest(payload: Any) -> Digest:
+    cached = getattr(payload, "cached_digest", None)
+    if cached is not None:
+        return cached
+    return digest(payload)
+
+
+class _Instance:
+    __slots__ = ("pending", "pending_digest", "acks", "committed", "delivered",
+                 "buffered_commit")
+
+    def __init__(self) -> None:
+        #: First payload received via PREPARE (the one we ACKed).
+        self.pending: Any = None
+        self.pending_digest: Optional[Digest] = None
+        #: Collected ACK signatures by digest (broadcaster side).
+        self.acks: Dict[Digest, Dict[int, Signature]] = {}
+        self.committed = False
+        self.delivered = False
+        #: COMMIT that arrived before its PREPARE (possible with a
+        #: Byzantine broadcaster or message reordering).
+        self.buffered_commit: Optional[SbCommit] = None
+
+
+class SignedBroadcast(BroadcastLayer):
+    """Signed BRB endpoint attached to one replica node."""
+
+    provides_totality = False
+
+    def __init__(
+        self,
+        node: Node,
+        peers: Sequence[int],
+        deliver: DeliverFn,
+        keychain: Keychain,
+        key: KeyPair,
+        f: Optional[int] = None,
+        ack_guard: Optional[Any] = None,
+    ) -> None:
+        self.node = node
+        self.peers: List[int] = list(peers)
+        if node.node_id not in self.peers:
+            raise ValueError("broadcast endpoint must be a member of its peer set")
+        self.deliver_fn = deliver
+        self.keychain = keychain
+        self.key = key
+        #: Optional predicate ``guard(origin, seq, payload) -> bool`` run
+        #: before ACKing a PREPARE.  Listing 6's conflict check ("verifies
+        #: whether there exists a' != a previously received for identifier
+        #: (s, ts)") is stated on *payment* identifiers; with batching the
+        #: payment layer owns that state, so it installs the check here.
+        self.ack_guard = ack_guard
+        self.n = len(self.peers)
+        self.f = f if f is not None else max_faulty(self.n)
+        self.ack_quorum = byzantine_quorum(self.n, self.f)
+        self._instances: Dict[Tuple[int, int], _Instance] = {}
+        self._delivered_count = 0
+        node.on(SbPrepare, self._on_prepare)
+        node.on(SbAck, self._on_ack)
+        node.on(SbCommit, self._on_commit)
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def broadcast(self, seq: int, payload: Any, payload_bytes: int) -> None:
+        size = _HEADER_BYTES + payload_bytes
+        message = SbPrepare(seq, payload, size)
+        cost = (
+            costs.MESSAGE_OVERHEAD
+            + costs.PER_BYTE_CPU * size
+            + costs.HASH_PER_PAYMENT * _payload_items(payload)
+            + costs.ECDSA_SIGN  # the receiver signs its ACK
+        )
+        for dst in self.peers:
+            if dst == self.node.node_id:
+                continue
+            self.node.send(
+                dst, message, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
+            )
+        # Hashing + signing our own ACK costs CPU even without a send.
+        self.node.cpu.occupy(
+            costs.HASH_PER_PAYMENT * _payload_items(payload) + costs.ECDSA_SIGN
+        )
+        self._handle_prepare(self.node.node_id, message)
+
+    @property
+    def delivered_count(self) -> int:
+        return self._delivered_count
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _instance(self, origin: int, seq: int) -> _Instance:
+        key = (origin, seq)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = _Instance()
+            self._instances[key] = instance
+        return instance
+
+    def _on_prepare(self, src: int, message: SbPrepare) -> None:
+        self._handle_prepare(src, message)
+
+    def _handle_prepare(self, src: int, message: SbPrepare) -> None:
+        instance = self._instance(src, message.seq)
+        if instance.pending is not None:
+            # Second PREPARE for the same identifier: if it conflicts, the
+            # broadcaster is equivocating and we do nothing (Listing 6
+            # acks only the first payload; resending an ACK would be
+            # harmless but is unnecessary in an idempotent layer).
+            return
+        if self.ack_guard is not None and not self.ack_guard(
+            src, message.seq, message.payload
+        ):
+            return  # Listing 6: a conflicting payload is never ACKed
+        payload_digest = _payload_digest(message.payload)
+        instance.pending = message.payload
+        instance.pending_digest = payload_digest
+        signature = sign(self.key, _ack_content(src, message.seq, payload_digest))
+        ack = SbAck(src, message.seq, payload_digest, signature)
+        if src == self.node.node_id:
+            self._apply_ack(src, ack)
+        else:
+            ack_cost = costs.MESSAGE_OVERHEAD + costs.ECDSA_VERIFY
+            self.node.send(
+                src, ack, size=_ACK_BYTES, recv_cost=ack_cost,
+                send_cost=costs.SEND_OVERHEAD,
+            )
+        # A COMMIT may have arrived before the PREPARE; retry it now that
+        # we hold the payload.
+        if instance.buffered_commit is not None:
+            buffered = instance.buffered_commit
+            instance.buffered_commit = None
+            self._apply_commit(buffered)
+
+    def _on_ack(self, src: int, message: SbAck) -> None:
+        self._apply_ack(src, message)
+
+    def _apply_ack(self, src: int, message: SbAck) -> None:
+        if message.origin != self.node.node_id:
+            return  # ACKs only matter to the broadcaster
+        content = _ack_content(message.origin, message.seq, message.payload_digest)
+        if not verify(self.keychain, message.signature, content):
+            return
+        if message.signature.signer != self._signer_for(src):
+            return
+        instance = self._instance(message.origin, message.seq)
+        bucket = instance.acks.setdefault(message.payload_digest, {})
+        bucket[src] = message.signature
+        if len(bucket) >= self.ack_quorum and not instance.committed:
+            instance.committed = True
+            self._send_commit(message.seq, message.payload_digest, bucket)
+
+    def _send_commit(
+        self, seq: int, payload_digest: Digest, bucket: Dict[int, Signature]
+    ) -> None:
+        proof = tuple(bucket.values())[: self.ack_quorum]
+        size = _HEADER_BYTES + len(proof) * _CERT_ENTRY_BYTES
+        commit = SbCommit(self.node.node_id, seq, payload_digest, proof, size)
+        # Receivers verify the whole certificate: 2f+1 signature checks.
+        cost = (
+            costs.MESSAGE_OVERHEAD
+            + costs.PER_BYTE_CPU * size
+            + costs.ECDSA_VERIFY * len(proof)
+        )
+        for dst in self.peers:
+            if dst == self.node.node_id:
+                continue
+            self.node.send(
+                dst, commit, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
+            )
+        self._apply_commit(commit)
+
+    def _on_commit(self, src: int, message: SbCommit) -> None:
+        self._apply_commit(message)
+
+    def _apply_commit(self, message: SbCommit) -> None:
+        instance = self._instance(message.origin, message.seq)
+        if instance.delivered:
+            return
+        if instance.pending is None:
+            instance.buffered_commit = message
+            return
+        if instance.pending_digest != message.payload_digest:
+            return  # certificate for a payload we never saw: equivocation
+        if not self._valid_certificate(message):
+            return
+        instance.delivered = True
+        self._delivered_count += 1
+        self.deliver_fn(message.origin, message.seq, instance.pending)
+
+    # ------------------------------------------------------------------
+    # Certificate validation
+    # ------------------------------------------------------------------
+    def _valid_certificate(self, message: SbCommit) -> bool:
+        content = _ack_content(message.origin, message.seq, message.payload_digest)
+        signers: Set[Hashable] = set()
+        for signature in message.proof:
+            if not verify(self.keychain, signature, content):
+                return False
+            signers.add(signature.signer)
+        return len(signers) >= self.ack_quorum
+
+    @staticmethod
+    def _signer_for(node_id: int) -> Hashable:
+        """Key owner identity expected for a replica node id."""
+        return replica_owner(node_id)

@@ -1,0 +1,37 @@
+"""Consensus-based payment baseline (BFT-SMaRt-style leader-based SMR).
+
+The comparison system of the paper's evaluation (§VI-A): payments are
+totally ordered by a PROPOSE/WRITE/ACCEPT consensus core with a
+STOP/STOPDATA/SYNC view change, then executed sequentially.
+"""
+
+from .config import BftConfig
+from .ledger import PaymentLedger
+from .messages import (
+    Accept,
+    ClientRequest,
+    Propose,
+    Reply,
+    Stop,
+    StopData,
+    Sync,
+    Write,
+)
+from .replica import BftReplica
+from .system import BftClientNode, BftSystem
+
+__all__ = [
+    "BftConfig",
+    "PaymentLedger",
+    "Accept",
+    "ClientRequest",
+    "Propose",
+    "Reply",
+    "Stop",
+    "StopData",
+    "Sync",
+    "Write",
+    "BftReplica",
+    "BftClientNode",
+    "BftSystem",
+]

@@ -1,0 +1,62 @@
+"""Payment execution on top of a total order.
+
+The consensus baseline executes payments in decided-sequence order.  Like
+Astro I, an insufficiently funded (or out-of-client-order) payment waits
+until the state allows it — total order makes the outcome identical at
+every correct replica.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..core.accounts import AccountState
+from ..core.payment import ClientId, Payment
+
+__all__ = ["PaymentLedger"]
+
+
+class PaymentLedger:
+    """Sequentially applies totally-ordered payments to account state."""
+
+    def __init__(
+        self,
+        genesis: Dict[ClientId, int],
+        on_settle: Optional[Callable[[Payment], None]] = None,
+    ) -> None:
+        self.state = AccountState(genesis)
+        self.on_settle = on_settle
+        self._waiting: Dict[ClientId, Dict[int, Payment]] = {}
+        self.settled_count = 0
+
+    def apply(self, payment: Payment) -> None:
+        """Apply one ordered payment (settling everything it unblocks)."""
+        self._waiting.setdefault(payment.spender, {})[payment.seq] = payment
+        self._drain(deque([payment.spender]))
+
+    def _drain(self, worklist: Deque[ClientId]) -> None:
+        while worklist:
+            client = worklist.popleft()
+            queue = self._waiting.get(client)
+            if not queue:
+                continue
+            while True:
+                next_seq = self.state.seqnum(client) + 1
+                payment = queue.get(next_seq)
+                if payment is None:
+                    break
+                if self.state.balance(client) < payment.amount:
+                    break
+                queue.pop(next_seq)
+                self.state.settle_full(payment)
+                self.settled_count += 1
+                if self.on_settle is not None:
+                    self.on_settle(payment)
+                worklist.append(payment.beneficiary)
+            if not queue:
+                self._waiting.pop(client, None)
+
+    @property
+    def waiting_count(self) -> int:
+        return sum(len(queue) for queue in self._waiting.values())

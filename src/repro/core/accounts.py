@@ -1,0 +1,106 @@
+"""Replicated account state: balances, sequence numbers, xlogs.
+
+This is the local state every replica maintains (Listing 2):
+``sn[..]`` (last settled sequence number per client), ``bal[..]``
+(balances), and ``xlogs[..]``.  The same structure backs Astro I,
+Astro II, and the consensus baseline — the systems differ in *how* they
+agree on what to apply, not in the applied state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .payment import ClientId, Payment
+from .xlog import ExclusiveLog
+
+__all__ = ["AccountState"]
+
+
+class AccountState:
+    """Balances, sequence numbers, and xlogs for a set of clients."""
+
+    __slots__ = ("balances", "seqnums", "xlogs")
+
+    def __init__(self, genesis: Mapping[ClientId, int]) -> None:
+        for client, amount in genesis.items():
+            if amount < 0:
+                raise ValueError(f"negative genesis balance for {client!r}: {amount}")
+        self.balances: Dict[ClientId, int] = dict(genesis)
+        self.seqnums: Dict[ClientId, int] = {client: 0 for client in genesis}
+        self.xlogs: Dict[ClientId, ExclusiveLog] = {
+            client: ExclusiveLog(client) for client in genesis
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def balance(self, client: ClientId) -> int:
+        return self.balances.get(client, 0)
+
+    def seqnum(self, client: ClientId) -> int:
+        return self.seqnums.get(client, 0)
+
+    def xlog(self, client: ClientId) -> ExclusiveLog:
+        log = self.xlogs.get(client)
+        if log is None:
+            log = ExclusiveLog(client)
+            self.xlogs[client] = log
+        return log
+
+    def knows(self, client: ClientId) -> bool:
+        return client in self.seqnums
+
+    def add_client(self, client: ClientId, balance: int = 0) -> None:
+        """Register a new client (reconfiguration path, §A)."""
+        if client in self.seqnums:
+            raise ValueError(f"client {client!r} already registered")
+        self.balances[client] = balance
+        self.seqnums[client] = 0
+        self.xlogs[client] = ExclusiveLog(client)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def credit(self, client: ClientId, amount: int) -> None:
+        self.balances[client] = self.balances.get(client, 0) + amount
+
+    def settle_full(self, payment: Payment) -> None:
+        """Listing 4: withdraw, deposit, bump sn, append to xlog.
+
+        This is Astro I's (and the consensus baseline's) settle, where the
+        beneficiary is credited directly.  Astro II uses
+        :meth:`settle_spend_only` plus dependency materialization.
+        """
+        spender = payment.spender
+        self.balances[spender] = self.balances.get(spender, 0) - payment.amount
+        self.credit(payment.beneficiary, payment.amount)
+        self.seqnums[spender] = self.seqnums.get(spender, 0) + 1
+        self.xlog(spender).append(payment)
+
+    def settle_spend_only(self, payment: Payment) -> None:
+        """Listing 9's spend half: withdraw, bump sn, append to xlog.
+
+        The beneficiary side is handled by CREDIT messages / dependency
+        certificates, never by a direct deposit.
+        """
+        spender = payment.spender
+        self.balances[spender] = self.balances.get(spender, 0) - payment.amount
+        self.seqnums[spender] = self.seqnums.get(spender, 0) + 1
+        self.xlog(spender).append(payment)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariants)
+    # ------------------------------------------------------------------
+    def total_balance(self) -> int:
+        return sum(self.balances.values())
+
+    def snapshot(self) -> Tuple[Tuple[ClientId, int, int], ...]:
+        """Deterministic (client, balance, sn) tuple for state comparison."""
+        return tuple(
+            (client, self.balances.get(client, 0), self.seqnums.get(client, 0))
+            for client in sorted(self.seqnums, key=repr)
+        )
+
+    def clients(self) -> Iterable[ClientId]:
+        return self.seqnums.keys()

@@ -1,0 +1,66 @@
+"""Astro I — the echo-based variant (§IV-A).
+
+Uses Bracha's BRB (MAC-authenticated, O(N²) messages, totality) and the
+plain payment protocol of Listings 1–4: settling credits the beneficiary
+directly, and insufficiently funded payments are *queued*, never rejected
+("Astro I does not reject insufficiently funded transactions ... it queues
+them until enough funds arrive", §IV-A Comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..brb.batching import Batch
+from ..brb.bracha import BrachaBroadcast
+from ..sim.events import Simulator
+from ..sim.network import Network
+from .config import AstroConfig
+from .directory import Directory
+from .payment import ClientId, Payment
+from .replica import AstroReplicaBase
+
+__all__ = ["Astro1Replica"]
+
+
+class Astro1Replica(AstroReplicaBase):
+    """One Astro I replica: Bracha BRB + full-settle payment protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        config: AstroConfig,
+        genesis: Dict[ClientId, int],
+        directory: Directory,
+        peers: List[int],
+    ) -> None:
+        super().__init__(sim, node_id, network, config, genesis, directory)
+        self.brb = BrachaBroadcast(
+            self, peers, self._on_brb_deliver, f=config.f, fifo=True
+        )
+
+    # ------------------------------------------------------------------
+    # Variant hooks
+    # ------------------------------------------------------------------
+    def _do_broadcast(self, seq: int, batch: Batch) -> None:
+        self.brb.broadcast(seq, batch, batch.size_bytes)
+
+    def _on_brb_deliver(self, origin: int, seq: int, batch: Batch) -> None:
+        self._deliver_batch(origin, batch)
+
+    def _approve_funds(self, payment: Payment) -> bool:
+        # Criterion (2) of Listing 3: the balance must cover the amount.
+        # When it does not, the caller leaves the payment queued; a later
+        # settle crediting this client re-runs the check (totality of
+        # Bracha's BRB guarantees the credit eventually arrives).
+        return self.state.balance(payment.spender) >= payment.amount
+
+    def _settle(self, payment: Payment) -> Optional[ClientId]:
+        # Listing 4: withdraw, deposit, bump sn, append to the xlog.
+        self.state.settle_full(payment)
+        self.settled_count += 1
+        if self.directory.rep_of(payment.spender) == self.node_id:
+            self._confirm(payment)
+        return payment.beneficiary

@@ -1,0 +1,319 @@
+"""Astro II — the signature-based variant (§IV-A, Listings 6–10).
+
+Uses the signed BRB (O(N) messages, no totality) plus the dependency
+mechanism: settled payments generate signed CREDIT messages to the
+beneficiary's representative; f+1 CREDITs form a dependency certificate;
+certificates ride along the beneficiary's next outgoing payment and are
+materialized into balance at settle time (with replay protection).
+Because certificates transfer trust between shards, the same replica code
+runs sharded and non-sharded deployments (§V) — sharding is configuration.
+
+Differences from Astro I, per the paper's "Comparison" paragraph:
+
+* an insufficiently funded payment is **rejected** at settle (Listing 9
+  l.49), not queued — the representative is responsible for proving funds
+  before broadcasting (it holds payments until enough certificates
+  accumulate);
+* settling **never credits the beneficiary directly**; only dependency
+  materialization does.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List, Optional, Set, Tuple
+from collections import deque
+
+from ..brb.batching import Batch, group_by_representative
+from ..brb.signed import SignedBroadcast
+from ..crypto import costs
+from ..crypto.keys import Keychain, KeyPair
+from ..sim.events import Simulator
+from ..sim.network import Network
+from .config import AstroConfig
+from .dependencies import (
+    CreditMessage,
+    DependencyCertificate,
+    DependencyCollector,
+    verify_certificate,
+)
+from .directory import Directory
+from .payment import ClientId, Payment, PaymentId
+from .replica import AstroReplicaBase
+
+__all__ = ["Astro2Replica"]
+
+
+def _core_fields(payment: Payment) -> tuple:
+    """Payment content for conflict detection (deps are rep metadata)."""
+    return (payment.spender, payment.seq, payment.beneficiary, payment.amount)
+
+
+class Astro2Replica(AstroReplicaBase):
+    """One Astro II replica: signed BRB + dependency-based settlement."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        config: AstroConfig,
+        genesis: Dict[ClientId, int],
+        directory: Directory,
+        keychain: Keychain,
+        key: KeyPair,
+    ) -> None:
+        super().__init__(sim, node_id, network, config, genesis, directory)
+        self.keychain = keychain
+        self.key = key
+        self.shard_id = directory.shard_of_replica(node_id)
+        peers = list(directory.members(self.shard_id))
+        self.brb = SignedBroadcast(
+            self,
+            peers,
+            self._on_brb_deliver,
+            keychain,
+            key,
+            f=config.f,
+            ack_guard=self._ack_guard,
+        )
+        # --- representative-side state (Listings 7, 10) ---
+        self._collector = DependencyCollector(directory, keychain, node_id)
+        #: Accumulated, not-yet-attached certificates per represented client.
+        self._deps: Dict[ClientId, List[DependencyCertificate]] = {}
+        #: Optimistic balance view used to decide when a client's payment
+        #: can be broadcast (settled balance ± in-flight effects),
+        #: *including* certificates not yet attached.
+        self._projected: Dict[ClientId, int] = {
+            client: genesis.get(client, 0)
+            for client in genesis
+            if directory.rep_of(client) == node_id
+        }
+        #: Like ``_projected`` but counting only value already attached or
+        #: settled — what the replicas would accept without further
+        #: certificates.  Drives lazy dependency attachment.
+        self._attached_projection: Dict[ClientId, int] = dict(self._projected)
+        #: Payments held until the projected balance covers them.
+        self._held: Dict[ClientId, Deque[Payment]] = {}
+        # --- replica-side state (Listings 6, 9) ---
+        #: Payment-identifier conflict log backing the ACK guard.
+        self._seen_payments: Dict[PaymentId, tuple] = {}
+        #: usedDeps (Listing 9 l.39): materialized dependency ids per client.
+        self._used_deps: Dict[ClientId, Set[PaymentId]] = {}
+        #: Sub-batch certificates already verified on this replica, keyed
+        #: by (shard, sub-batch digest).  One verification covers every
+        #: payment of the sub-batch — the point of 2-level batching
+        #: (§VI-A): signature work is per sub-batch, not per payment.
+        self._verified_certs: Set[Tuple[int, int]] = set()
+        #: Payments settled in the current batch, pending CREDIT fan-out.
+        self._credit_buffer: List[Payment] = []
+        self.on(CreditMessage, self._on_credit)
+
+    # ------------------------------------------------------------------
+    # ACK guard — Listing 6's conflict check, on payment identifiers
+    # ------------------------------------------------------------------
+    def _ack_guard(self, origin: int, seq: int, batch: Batch) -> bool:
+        """Refuse to ACK a batch containing an equivocating payment.
+
+        Quorum intersection then guarantees that of two conflicting
+        payments (same identifier, different content) at most one can ever
+        gather a commit certificate — Astro's double-spend prevention.
+        """
+        for payment in batch:
+            if self.directory.rep_of(payment.spender) != origin:
+                return False
+            previous = self._seen_payments.get(payment.identifier)
+            if previous is not None and previous != _core_fields(payment):
+                return False
+        for payment in batch:
+            self._seen_payments[payment.identifier] = _core_fields(payment)
+        return True
+
+    # ------------------------------------------------------------------
+    # Representative side: holding, dependency attachment (Listing 7)
+    # ------------------------------------------------------------------
+    def _prepare_outgoing(self, payment: Payment) -> Optional[Payment]:
+        spender = payment.spender
+        held = self._held.get(spender)
+        if held:
+            # Preserve the client's FIFO order behind already-held payments.
+            held.append(payment)
+            return None
+        projected = self._projected.get(spender, 0)
+        if projected < payment.amount:
+            self._held.setdefault(spender, deque()).append(payment)
+            return None
+        self._projected[spender] = projected - payment.amount
+        return self._attach_deps(payment)
+
+    def _attach_deps(self, payment: Payment) -> Payment:
+        """Attach accumulated certificates — lazily.
+
+        Listing 7 attaches ``deps[Alice]`` on every outgoing payment; we
+        attach only when the client's already-provable balance cannot
+        cover the amount, and then attach *everything* accumulated.  This
+        amortizes certificate wire size and verification over many
+        payments (in the spirit of §VI-A's batching) and changes nothing
+        semantically: a certificate is only needed to prove funds the
+        replicas have not yet seen materialized.
+        """
+        spender = payment.spender
+        attached = self._attached_projection.get(spender, 0)
+        if attached >= payment.amount:
+            self._attached_projection[spender] = attached - payment.amount
+            return payment
+        certs = self._deps.pop(spender, None)
+        if not certs:
+            # Nothing to attach; the hold logic (``_projected``) should
+            # have prevented this path, but a Byzantine client bypassing
+            # it simply gets its payment rejected at settle.
+            self._attached_projection[spender] = attached - payment.amount
+            return payment
+        gained = sum(cert.amount for cert in certs)
+        self._attached_projection[spender] = attached + gained - payment.amount
+        return Payment(
+            spender,
+            payment.seq,
+            payment.beneficiary,
+            payment.amount,
+            deps=tuple(certs),
+            submitted_at=payment.submitted_at,
+        )
+
+    def _release_held(self, client: ClientId) -> None:
+        held = self._held.get(client)
+        if not held:
+            return
+        while held and self._projected.get(client, 0) >= held[0].amount:
+            payment = held.popleft()
+            self._projected[client] = self._projected.get(client, 0) - payment.amount
+            self.batcher.add(self._attach_deps(payment))
+        if not held:
+            self._held.pop(client, None)
+
+    # ------------------------------------------------------------------
+    # Broadcast / delivery
+    # ------------------------------------------------------------------
+    def _do_broadcast(self, seq: int, batch: Batch) -> None:
+        self.brb.broadcast(seq, batch, batch.size_bytes)
+
+    def _on_brb_deliver(self, origin: int, seq: int, batch: Batch) -> None:
+        # Charge verification of attached dependency certificates once per
+        # *sub-batch* certificate (f+1 signatures each) — verification,
+        # like signing, is amortized by the 2-level batching scheme.
+        verify_cost = 0.0
+        charged: Set[Tuple[int, int]] = set()
+        for payment in batch:
+            for cert in payment.deps:
+                key = (cert.shard_id, cert.subbatch_digest)
+                if key not in self._verified_certs and key not in charged:
+                    charged.add(key)
+                    verify_cost += costs.ECDSA_VERIFY * len(cert.signatures)
+        if verify_cost:
+            self.cpu.occupy(verify_cost)
+        self._deliver_batch(origin, batch)
+        self._flush_credits()
+
+    # ------------------------------------------------------------------
+    # Settlement (Listings 8–9)
+    # ------------------------------------------------------------------
+    def _approve_funds(self, payment: Payment) -> bool:
+        # Astro II approval waits only on the sequence number (Listing 8);
+        # the funds decision happens inside settle and never blocks.
+        return True
+
+    def _settle(self, payment: Payment) -> Optional[ClientId]:
+        spender = payment.spender
+        used = self._used_deps.setdefault(spender, set())
+        # Materialize never-seen-before dependencies (Listing 9 l.44-48).
+        for cert in payment.deps:
+            if cert.beneficiary != spender:
+                continue
+            if cert.dep_id in used:
+                continue  # replay: each certificate credits at most once
+            if not self._cert_valid(cert):
+                continue
+            used.add(cert.dep_id)
+            self.state.credit(spender, cert.amount)
+        if self.state.balance(spender) < payment.amount:
+            # Listing 9 l.49: an underfunded payment is dropped without
+            # advancing sn.  Correct representatives prove funds before
+            # broadcasting, so this fires only under faulty clients/reps.
+            self.rejected.append(payment)
+            return None
+        self.state.settle_spend_only(payment)
+        self.settled_count += 1
+        self._credit_buffer.append(payment)
+        if self.directory.rep_of(spender) == self.node_id:
+            self._confirm(payment)
+        return None  # no direct deposit — nothing new to re-examine
+
+    def _cert_valid(self, cert: DependencyCertificate) -> bool:
+        key = (cert.shard_id, cert.subbatch_digest)
+        if key in self._verified_certs:
+            # The sub-batch is already proven settled by f+1 replicas of
+            # its shard; only this payment's membership needs checking.
+            return cert.payment in cert.subbatch
+        if verify_certificate(cert, self.directory, self.keychain):
+            self._verified_certs.add(key)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # CREDIT fan-out (Listing 9 l.55-57, 2-level batching §VI-A)
+    # ------------------------------------------------------------------
+    def _flush_credits(self) -> None:
+        if not self._credit_buffer:
+            return
+        settled, self._credit_buffer = self._credit_buffer, []
+        groups = group_by_representative(
+            settled, lambda p: self.directory.rep_of(p.beneficiary)
+        )
+        for rep_node, payments in groups.items():
+            # One signature per sub-batch is the whole point of the
+            # second batching level.
+            self.cpu.occupy(costs.ECDSA_SIGN)
+            message = CreditMessage.create(
+                self.key, self.shard_id, tuple(payments)
+            )
+            if rep_node == self.node_id:
+                self._apply_credit(self.node_id, message)
+            else:
+                recv_cost = (
+                    costs.MESSAGE_OVERHEAD
+                    + costs.PER_BYTE_CPU * message.size
+                    + costs.ECDSA_VERIFY
+                )
+                self.send(
+                    rep_node,
+                    message,
+                    size=message.size,
+                    recv_cost=recv_cost,
+                    send_cost=costs.SEND_OVERHEAD,
+                )
+
+    def _on_credit(self, src: int, message: CreditMessage) -> None:
+        self._apply_credit(src, message)
+
+    def _apply_credit(self, src: int, message: CreditMessage) -> None:
+        for cert in self._collector.add_credit(src, message):
+            beneficiary = cert.beneficiary
+            self._deps.setdefault(beneficiary, []).append(cert)
+            self._projected[beneficiary] = (
+                self._projected.get(beneficiary, 0) + cert.amount
+            )
+            self._release_held(beneficiary)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def available_balance(self, client: ClientId) -> int:
+        """Representative's view: settled balance + pending certificates.
+
+        What a client of this representative could spend right now.
+        """
+        pending = sum(cert.amount for cert in self._deps.get(client, ()))
+        return self.state.balance(client) + pending
+
+    @property
+    def held_payments(self) -> int:
+        return sum(len(queue) for queue in self._held.values())

@@ -1,0 +1,56 @@
+"""Configuration shared by the Astro systems and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..brb.batching import DEFAULT_BATCH_SIZE
+from ..brb.quorums import max_faulty, validate_system_size
+
+__all__ = ["AstroConfig"]
+
+
+@dataclass
+class AstroConfig:
+    """Parameters of one Astro deployment (one shard unless noted).
+
+    Defaults match the paper's setup: N = 3f+1 replicas (§VI-A), batches
+    of 256 payments (§VI-A), t2.medium-like resources (2 vCores, 30 MiB/s
+    — set on the simulated nodes).
+    """
+
+    num_replicas: int = 4
+    #: Byzantine fault threshold; derived as (n-1)//3 when omitted.
+    f: Optional[int] = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: Maximum time a payment waits for its batch to fill.  50 ms trades a
+    #: little latency for much better amortization of per-batch signature
+    #: work when client load is spread over many representatives.
+    batch_delay: float = 0.05
+    #: CPU time to apply one settled payment (balance/sn/xlog updates).
+    settle_cost: float = 1.5e-6
+    #: CPU time to ingest one client request at the representative
+    #: (deserialize + authenticate client data, connection handling,
+    #: §VI-B).  Calibrated against the paper's N=4 anchors.
+    ingest_cost: float = 35e-6
+    #: CPU time to produce a client confirmation.
+    confirm_cost: float = 3e-6
+    #: Astro II only: number of shards (§V).
+    num_shards: int = 1
+    #: Maximum broadcast batches a representative keeps in flight;
+    #: additional batches queue locally (flow control / backpressure).
+    max_inflight_batches: int = 16
+
+    def __post_init__(self) -> None:
+        if self.f is None:
+            self.f = max_faulty(self.num_replicas)
+        validate_system_size(self.num_replicas, self.f)
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    @property
+    def quorum(self) -> int:
+        return 2 * self.f + 1

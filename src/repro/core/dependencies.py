@@ -1,0 +1,258 @@
+"""CREDIT messages and dependency certificates (§IV-A, §V, Listings 7–10).
+
+The signed BRB of Astro II lacks totality, enabling the *partial payments
+attack*: a Byzantine representative could let only some replicas settle a
+payment, leaving the beneficiary unable to spend it.  Astro II compensates
+with **dependencies**: every correct replica that settles a payment
+unicasts a signed CREDIT to the beneficiary's representative, and f+1
+distinct CREDITs form a *dependency certificate* — unforgeable proof the
+payment was accepted by the spender's shard.  Certificates ride along the
+beneficiary's next outgoing payment and are materialized into balance at
+settle time, with replay protection (``usedDeps``).
+
+Certificates are also what make sharding one-step (§V): replicas of the
+beneficiary's shard accept a dependency signed by f+1 replicas of the
+*spender's* shard, so no 2PC is needed.
+
+Per the paper's 2-level batching (§VI-A), a CREDIT covers a *sub-batch*
+(all settled payments of one batch whose beneficiaries share a
+representative) under a single signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..crypto import costs
+from ..crypto.hashing import Digest, digest
+from ..crypto.keys import Keychain, replica_owner
+from ..crypto.signatures import Signature, sign, verify
+from .directory import Directory
+from .payment import ClientId, Payment, PaymentId
+
+__all__ = [
+    "CreditMessage",
+    "DependencyCertificate",
+    "DependencyCollector",
+    "credit_content",
+    "subbatch_digest_of",
+    "verify_certificate",
+    "certificate_wire_bytes",
+]
+
+
+def credit_content(shard_id: int, subbatch_digest: Digest) -> tuple:
+    """The statement a CREDIT signature endorses: 'my shard settled this
+    sub-batch'."""
+    return ("credit", shard_id, subbatch_digest)
+
+
+def subbatch_digest_of(payments: Sequence[Payment]) -> Digest:
+    """Digest of a settled sub-batch, over the payments' core fields.
+
+    Core fields (not full canonical forms) terminate the recursion
+    payment → deps → crediting payment → its deps → …; a settled payment's
+    attached certificates are already consumed and are irrelevant to the
+    credit it produces.
+    """
+    return digest(tuple(p.core_canonical() for p in payments))
+
+
+class CreditMessage:
+    """Signed approval of a settled sub-batch (Listing 9 l.55-57).
+
+    Unicast by each settling replica to the representative of the
+    sub-batch's beneficiaries.  One signature covers the whole sub-batch
+    (2-level batching, §VI-A).
+    """
+
+    __slots__ = ("shard_id", "payments", "subbatch_digest", "signature", "size")
+
+    def __init__(
+        self,
+        shard_id: int,
+        payments: Tuple[Payment, ...],
+        signature: Signature,
+        subbatch_digest: Optional[Digest] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.payments = payments
+        # The digest is derivable from ``payments``; accepting it as an
+        # argument avoids recomputing an O(|sub-batch|) hash per message.
+        self.subbatch_digest = (
+            subbatch_digest if subbatch_digest is not None
+            else subbatch_digest_of(payments)
+        )
+        self.signature = signature
+        self.size = 48 + costs.SIGNATURE_BYTES + 100 * len(payments)
+
+    @classmethod
+    def create(
+        cls, key, shard_id: int, payments: Sequence[Payment]
+    ) -> "CreditMessage":
+        payments = tuple(payments)
+        batch_digest = subbatch_digest_of(payments)
+        signature = sign(key, credit_content(shard_id, batch_digest))
+        return cls(shard_id, payments, signature, subbatch_digest=batch_digest)
+
+
+class DependencyCertificate:
+    """f+1 signed approvals proving one incoming payment exists (§IV-A).
+
+    ``payment`` is the crediting payment; ``subbatch`` is the sub-batch the
+    signatures cover (membership of ``payment`` in it is part of
+    verification); ``signatures`` are the f+1 distinct replica signatures
+    over the sub-batch.
+    """
+
+    __slots__ = ("payment", "shard_id", "subbatch", "subbatch_digest", "signatures")
+
+    def __init__(
+        self,
+        payment: Payment,
+        shard_id: int,
+        subbatch: Tuple[Payment, ...],
+        signatures: Tuple[Signature, ...],
+        subbatch_digest: Optional[Digest] = None,
+    ) -> None:
+        self.payment = payment
+        self.shard_id = shard_id
+        self.subbatch = subbatch
+        self.subbatch_digest = (
+            subbatch_digest if subbatch_digest is not None
+            else subbatch_digest_of(subbatch)
+        )
+        self.signatures = signatures
+
+    @property
+    def dep_id(self) -> PaymentId:
+        """Identifier under which replay protection tracks this dependency."""
+        return self.payment.identifier
+
+    @property
+    def amount(self) -> int:
+        return self.payment.amount
+
+    @property
+    def beneficiary(self) -> ClientId:
+        return self.payment.beneficiary
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size: payment reference plus the f+1 signatures."""
+        return 40 + len(self.signatures) * (costs.SIGNATURE_BYTES + 8)
+
+    def canonical(self) -> tuple:
+        return (
+            "depcert",
+            self.shard_id,
+            self.payment.core_canonical(),
+            self.subbatch_digest,
+            tuple(s.canonical() for s in self.signatures),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DependencyCertificate {self.payment!r} "
+            f"sigs={len(self.signatures)} shard={self.shard_id}>"
+        )
+
+
+def verify_certificate(
+    cert: DependencyCertificate, directory: Directory, keychain: Keychain
+) -> bool:
+    """Full validity check: signatures, signer membership, payment membership.
+
+    A certificate is valid iff it carries f+1 *distinct* signatures by
+    replicas of the claimed (spender's) shard over the sub-batch content,
+    and the credited payment is a member of that sub-batch.
+    """
+    try:
+        members = set(directory.members(cert.shard_id))
+        needed = directory.faulty_bound(cert.shard_id) + 1
+    except KeyError:
+        return False
+    if cert.payment not in cert.subbatch:
+        return False
+    if subbatch_digest_of(cert.subbatch) != cert.subbatch_digest:
+        return False  # claimed digest does not match the carried content
+    content = credit_content(cert.shard_id, cert.subbatch_digest)
+    signers: Set[Hashable] = set()
+    for signature in cert.signatures:
+        if not isinstance(signature, Signature):
+            return False
+        owner = signature.signer
+        if not (
+            isinstance(owner, tuple)
+            and len(owner) == 2
+            and owner[0] == "replica"
+            and owner[1] in members
+        ):
+            return False
+        if not verify(keychain, signature, content):
+            return False
+        signers.add(owner)
+    return len(signers) >= needed
+
+
+def certificate_wire_bytes(f: int) -> int:
+    """Wire size of one dependency attached to an outgoing payment."""
+    return 40 + (f + 1) * (costs.SIGNATURE_BYTES + 8)
+
+
+class DependencyCollector:
+    """Representative-side CREDIT aggregation (Listing 10).
+
+    Collects CREDIT messages per sub-batch; once f+1 distinct settling
+    replicas have signed, mints a :class:`DependencyCertificate` for each
+    payment in the sub-batch whose beneficiary this representative serves.
+    """
+
+    def __init__(self, directory: Directory, keychain: Keychain, my_node: int) -> None:
+        self.directory = directory
+        self.keychain = keychain
+        self.my_node = my_node
+        #: (shard, subbatch digest) -> settling replica -> signature
+        self._partial: Dict[Tuple[int, Digest], Dict[int, Signature]] = {}
+        #: Payments of finished sub-batches (kept until certified).
+        self._payments: Dict[Tuple[int, Digest], Tuple[Payment, ...]] = {}
+        self._certified: Set[Tuple[int, Digest]] = set()
+
+    def add_credit(self, src: int, message: CreditMessage) -> List[DependencyCertificate]:
+        """Process one CREDIT; returns freshly minted certificates (if any)."""
+        shard = message.shard_id
+        try:
+            members = self.directory.members(shard)
+        except KeyError:
+            return []
+        if src not in members:
+            return []
+        content = credit_content(shard, message.subbatch_digest)
+        if message.signature.signer != replica_owner(src):
+            return []
+        if not verify(self.keychain, message.signature, content):
+            return []
+        key = (shard, message.subbatch_digest)
+        if key in self._certified:
+            return []
+        bucket = self._partial.setdefault(key, {})
+        bucket[src] = message.signature
+        self._payments.setdefault(key, message.payments)
+        needed = self.directory.faulty_bound(shard) + 1
+        if len(bucket) < needed:
+            return []
+        self._certified.add(key)
+        signatures = tuple(bucket.values())[:needed]
+        subbatch = self._payments.pop(key)
+        self._partial.pop(key, None)
+        certificates = []
+        for payment in subbatch:
+            if self.directory.rep_of(payment.beneficiary) != self.my_node:
+                continue
+            certificates.append(
+                DependencyCertificate(
+                    payment, shard, subbatch, signatures,
+                    subbatch_digest=key[1],
+                )
+            )
+        return certificates

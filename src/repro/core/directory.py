@@ -1,0 +1,82 @@
+"""System directory: clients → representatives, replicas → shards.
+
+The paper assumes "the mapping of clients to their representative replicas
+is publicly known" (§III); with sharding, shard membership is likewise
+public knowledge (§V).  The directory is that shared knowledge — plain
+data distributed out-of-band, not a trusted online service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..brb.quorums import max_faulty
+from .payment import ClientId
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """Static mapping of clients, representatives, shards."""
+
+    def __init__(self) -> None:
+        self._rep_of: Dict[ClientId, int] = {}
+        self._shard_of_replica: Dict[int, int] = {}
+        self._shard_members: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (system assembly time)
+    # ------------------------------------------------------------------
+    def register_shard(self, shard_id: int, members: Tuple[int, ...]) -> None:
+        if shard_id in self._shard_members:
+            raise ValueError(f"shard {shard_id} already registered")
+        if not members:
+            raise ValueError("a shard needs at least one replica")
+        self._shard_members[shard_id] = tuple(members)
+        for node_id in members:
+            if node_id in self._shard_of_replica:
+                raise ValueError(f"replica {node_id} already in a shard")
+            self._shard_of_replica[node_id] = shard_id
+
+    def register_client(self, client: ClientId, representative: int) -> None:
+        if representative not in self._shard_of_replica:
+            raise ValueError(f"representative {representative} is not a replica")
+        self._rep_of[client] = representative
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def rep_of(self, client: ClientId) -> int:
+        """Representative replica of ``client`` (s(·) notation, §V)."""
+        return self._rep_of[client]
+
+    def knows_client(self, client: ClientId) -> bool:
+        return client in self._rep_of
+
+    def shard_of_replica(self, node_id: int) -> int:
+        return self._shard_of_replica[node_id]
+
+    def shard_of_client(self, client: ClientId) -> int:
+        return self._shard_of_replica[self._rep_of[client]]
+
+    def members(self, shard_id: int) -> Tuple[int, ...]:
+        return self._shard_members[shard_id]
+
+    def faulty_bound(self, shard_id: int) -> int:
+        """f for one shard — the N/3 bound applies per shard (§V)."""
+        return max_faulty(len(self._shard_members[shard_id]))
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self._shard_members)
+
+    @property
+    def clients(self) -> List[ClientId]:
+        return list(self._rep_of)
+
+    def clients_of_shard(self, shard_id: int) -> List[ClientId]:
+        return [
+            client
+            for client, rep in self._rep_of.items()
+            if self._shard_of_replica[rep] == shard_id
+        ]

@@ -1,0 +1,54 @@
+"""Client ↔ representative messages.
+
+Clients are lightweight, intermittently connected participants (§II); they
+exchange exactly two message kinds with their representative: a payment
+submission and (optionally) a settlement confirmation.  Balance queries
+are a read of the representative's local state (§III "Checking the
+Balance") and are modelled as a request/response pair.
+"""
+
+from __future__ import annotations
+
+from .payment import ClientId, Payment
+
+__all__ = ["ClientSubmit", "ClientConfirm", "BalanceQuery", "BalanceReply"]
+
+#: Wire size of a client request: three fields plus client authentication
+#: data, "roughly 100 bytes" (§VI-B).
+SUBMIT_BYTES = 100
+
+CONFIRM_BYTES = 64
+
+
+class ClientSubmit:
+    """A payment submitted by a client to her representative (Listing 1)."""
+
+    __slots__ = ("payment",)
+
+    def __init__(self, payment: Payment) -> None:
+        self.payment = payment
+
+
+class ClientConfirm:
+    """Settlement notification from representative to client (§III)."""
+
+    __slots__ = ("payment", "settled_at")
+
+    def __init__(self, payment: Payment, settled_at: float) -> None:
+        self.payment = payment
+        self.settled_at = settled_at
+
+
+class BalanceQuery:
+    __slots__ = ("client",)
+
+    def __init__(self, client: ClientId) -> None:
+        self.client = client
+
+
+class BalanceReply:
+    __slots__ = ("client", "balance")
+
+    def __init__(self, client: ClientId, balance: int) -> None:
+        self.client = client
+        self.balance = balance

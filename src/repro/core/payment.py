@@ -1,0 +1,98 @@
+"""Payment operations and their identifiers (§II, Figure 1).
+
+A payment specifies its *spender*, the *sequence number* the spender
+assigned, the *beneficiary*, and the *amount*.  The pair
+``(spender, seq)`` is the payment's identifier (§IV) — the unit on which
+the broadcast layer's agreement property is stated, and the key for
+double-spend prevention: at most one payment per identifier ever settles.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["Payment", "PaymentId", "ClientId"]
+
+#: Clients are identified by any hashable id (ints in benchmarks,
+#: strings in examples).
+ClientId = Hashable
+
+#: A payment identifier: (spender, sequence number).
+PaymentId = Tuple[ClientId, int]
+
+
+class Payment:
+    """One transfer of ``amount`` from ``spender`` to ``beneficiary``.
+
+    ``deps`` carries the dependency certificates Astro II attaches to an
+    outgoing payment (Listing 7); it is always empty in Astro I.
+    ``submitted_at`` is measurement metadata (set by load drivers) and is
+    excluded from the canonical form, so it never affects digests or
+    signatures.
+    """
+
+    __slots__ = ("spender", "seq", "beneficiary", "amount", "deps", "submitted_at")
+
+    def __init__(
+        self,
+        spender: ClientId,
+        seq: int,
+        beneficiary: ClientId,
+        amount: int,
+        deps: tuple = (),
+        submitted_at: Optional[float] = None,
+    ) -> None:
+        if seq < 1:
+            raise ValueError(f"sequence numbers start at 1, got {seq}")
+        if amount < 0:
+            raise ValueError(f"negative amount: {amount}")
+        self.spender = spender
+        self.seq = seq
+        self.beneficiary = beneficiary
+        self.amount = amount
+        self.deps = deps
+        self.submitted_at = submitted_at
+
+    @property
+    def identifier(self) -> PaymentId:
+        return (self.spender, self.seq)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Serialized size: ~100 bytes (§VI-B) plus attached dependencies."""
+        return 100 + sum(getattr(dep, "wire_bytes", 0) for dep in self.deps)
+
+    def core_canonical(self) -> tuple:
+        """Canonical form of the transfer itself, excluding dependencies.
+
+        Dependency certificates bind *this* form of the payment they
+        credit: a certificate must not re-embed the crediting payment's
+        own dependency certificates, or canonical forms would recurse
+        through the whole payment history.
+        """
+        return (self.spender, self.seq, self.beneficiary, self.amount)
+
+    def canonical(self) -> tuple:
+        deps = tuple(
+            dep.canonical() if hasattr(dep, "canonical") else dep for dep in self.deps
+        )
+        return (self.spender, self.seq, self.beneficiary, self.amount, deps)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Payment)
+            and self.spender == other.spender
+            and self.seq == other.seq
+            and self.beneficiary == other.beneficiary
+            and self.amount == other.amount
+            and self.deps == other.deps
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.spender, self.seq, self.beneficiary, self.amount))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Payment {self.spender!r}#{self.seq}: "
+            f"{self.amount} -> {self.beneficiary!r}>"
+        )

@@ -1,0 +1,237 @@
+"""Common machinery of Astro replicas (both variants).
+
+A replica (i) ingests payments from the clients it represents, (ii)
+broadcasts them in batches through a BRB layer, and (iii) approves and
+settles every payment delivered by the broadcast (Listings 2–4).  The two
+variants differ in the broadcast protocol and in settle semantics; this
+base class holds everything else: batching with flow control, the
+per-client sequence-gap queue that implements approval's *wait* (Listing
+3), settlement bookkeeping, and client confirmations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from ..brb.batching import Batch, Batcher
+from ..sim.network import Network
+from ..sim.node import Node
+from ..sim.events import Simulator
+from .accounts import AccountState
+from .config import AstroConfig
+from .directory import Directory
+from .messages import CONFIRM_BYTES, ClientConfirm, ClientSubmit
+from .payment import ClientId, Payment
+
+__all__ = ["AstroReplicaBase"]
+
+#: Confirmation hook: ``fn(payment, settled_at_representative)``.
+ConfirmFn = Callable[[Payment, float], None]
+
+
+class AstroReplicaBase(Node):
+    """Shared replica behaviour; concrete variants override the hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        config: AstroConfig,
+        genesis: Dict[ClientId, int],
+        directory: Directory,
+    ) -> None:
+        super().__init__(sim, node_id, network)
+        self.config = config
+        self.directory = directory
+        self.state = AccountState(genesis)
+        self.batcher: Batcher[Payment] = Batcher(
+            sim,
+            self._flush_batch,
+            max_size=config.batch_size,
+            max_delay=config.batch_delay,
+        )
+        self._broadcast_seq = 0
+        self._inflight_batches = 0
+        self._batch_backlog: Deque[Batch] = deque()
+        #: Delivered payments waiting on approval criterion (1): their
+        #: client's preceding payment (Listing 3 l.17).
+        self._awaiting_seq: Dict[ClientId, Dict[int, Payment]] = {}
+        #: Highest sequence number accepted from each represented client;
+        #: a correct representative never broadcasts two payments with the
+        #: same identifier (the Byzantine-client defense of §II).
+        self._accepted_seq: Dict[ClientId, int] = {}
+        self.settled_count = 0
+        self.rejected: List[Payment] = []
+        #: External hooks fired when this replica, acting as the spender's
+        #: representative, observes a settlement (latency measurement and
+        #: client notification, §III "Client notification").
+        self.confirm_hooks: List[ConfirmFn] = []
+        #: node id of each client's own node, when clients run as nodes.
+        self.client_nodes: Dict[ClientId, int] = {}
+        self.on(ClientSubmit, self._on_client_submit)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _on_client_submit(self, src: int, message: ClientSubmit) -> None:
+        self.ingest(message.payment)
+
+    def submit_local(self, payment: Payment) -> None:
+        """Inject a payment as if a represented client had sent it.
+
+        Used by load generators; charges the same ingestion CPU a real
+        client request would.
+        """
+        self.cpu.occupy(self.config.ingest_cost)
+        self.ingest(payment)
+
+    def ingest(self, payment: Payment) -> None:
+        """Accept a client payment for broadcast.
+
+        Only payments of clients this replica represents are accepted —
+        "only the representative can broadcast outgoing payments for a
+        client's xlog" (§II).
+        """
+        if not self.alive:
+            return
+        if self.directory.rep_of(payment.spender) != self.node_id:
+            return
+        expected = self._accepted_seq.get(payment.spender, 0) + 1
+        if payment.seq != expected:
+            # Reused or out-of-order sequence number: a correct client
+            # never does this, so the submission is discarded.
+            return
+        self._accepted_seq[payment.spender] = payment.seq
+        prepared = self._prepare_outgoing(payment)
+        if prepared is not None:
+            self.batcher.add(prepared)
+
+    def _prepare_outgoing(self, payment: Payment) -> Optional[Payment]:
+        """Variant hook: transform/validate a payment before batching.
+
+        Returning ``None`` means the payment is held or dropped by the
+        variant (e.g. Astro II queues underfunded payments until
+        dependencies arrive).
+        """
+        return payment
+
+    # ------------------------------------------------------------------
+    # Broadcast with flow control
+    # ------------------------------------------------------------------
+    def _flush_batch(self, items: List[Payment]) -> None:
+        batch = Batch(items)
+        if self._inflight_batches >= self.config.max_inflight_batches:
+            self._batch_backlog.append(batch)
+            return
+        self._launch_batch(batch)
+
+    def _launch_batch(self, batch: Batch) -> None:
+        self._broadcast_seq += 1
+        self._inflight_batches += 1
+        self._do_broadcast(self._broadcast_seq, batch)
+
+    def _do_broadcast(self, seq: int, batch: Batch) -> None:
+        """Variant hook: hand the batch to the BRB layer."""
+        raise NotImplementedError
+
+    def _batch_done(self) -> None:
+        """Called when one of our own batches is locally delivered."""
+        if self._inflight_batches > 0:
+            self._inflight_batches -= 1
+        while (
+            self._batch_backlog
+            and self._inflight_batches < self.config.max_inflight_batches
+        ):
+            self._launch_batch(self._batch_backlog.popleft())
+
+    # ------------------------------------------------------------------
+    # Delivery → approval (Listing 3) → settlement
+    # ------------------------------------------------------------------
+    def _deliver_batch(self, origin: int, batch: Batch) -> None:
+        """Process a BRB-delivered batch of payments."""
+        if not self.alive:
+            return
+        self.cpu.occupy(self.config.settle_cost * batch.batch_items)
+        touched_set = set()
+        for payment in batch:
+            # Defense in depth: a payment may only arrive via its
+            # spender's representative (§II).
+            if self.directory.rep_of(payment.spender) != origin:
+                continue
+            queue = self._awaiting_seq.setdefault(payment.spender, {})
+            if payment.seq in queue or payment.seq <= self.state.seqnum(payment.spender):
+                continue  # duplicate identifier: first delivery wins
+            queue[payment.seq] = payment
+            touched_set.add(payment.spender)
+        self._drain(deque(touched_set), origin)
+        if origin == self.node_id:
+            self._batch_done()
+
+    def _drain(self, worklist: Deque[ClientId], origin: int) -> None:
+        """Settle every payment whose approval criteria now hold.
+
+        Settling a payment may unblock others (its beneficiary can now
+        afford queued spends), so this cascades via a worklist until no
+        progress remains.
+        """
+        while worklist:
+            client = worklist.popleft()
+            queue = self._awaiting_seq.get(client)
+            if not queue:
+                continue
+            while True:
+                next_seq = self.state.seqnum(client) + 1
+                payment = queue.get(next_seq)
+                if payment is None:
+                    break
+                if not self._approve_funds(payment):
+                    break  # criterion (2): wait for credits (Listing 3 l.18)
+                queue.pop(next_seq)
+                beneficiary = self._settle(payment)
+                if beneficiary is not None:
+                    worklist.append(beneficiary)
+            if not queue:
+                self._awaiting_seq.pop(client, None)
+
+    def _approve_funds(self, payment: Payment) -> bool:
+        """Variant hook: approval criterion (2), sufficient funds."""
+        raise NotImplementedError
+
+    def _settle(self, payment: Payment) -> Optional[ClientId]:
+        """Variant hook: apply the payment (Listing 4 / Listing 9).
+
+        Returns the beneficiary to re-examine when the settle credited a
+        local balance (Astro I), else ``None``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Confirmation (§III "Client notification")
+    # ------------------------------------------------------------------
+    def _confirm(self, payment: Payment) -> None:
+        """Notify the spender that her payment settled (we are her rep)."""
+        self.cpu.occupy(self.config.confirm_cost)
+        now = self.sim.now
+        for hook in self.confirm_hooks:
+            hook(payment, now)
+        client_node = self.client_nodes.get(payment.spender)
+        if client_node is not None:
+            self.send(
+                client_node,
+                ClientConfirm(payment, now),
+                size=CONFIRM_BYTES,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def balance_of(self, client: ClientId) -> int:
+        """Settled balance, as returned to a querying client (§III)."""
+        return self.state.balance(client)
+
+    @property
+    def queued_payments(self) -> int:
+        """Delivered-but-unsettled payments (waiting on approval)."""
+        return sum(len(queue) for queue in self._awaiting_seq.values())

@@ -1,0 +1,310 @@
+"""System assembly: wire replicas, clients, and the network together.
+
+These classes are the primary public entry points of the library:
+
+* :class:`Astro1System` — full replication, Bracha BRB (Astro I);
+* :class:`Astro2System` — signed BRB with dependency certificates,
+  optionally sharded (Astro II, §V).
+
+Both expose the same driving surface (``submit`` / ``add_client_node`` /
+``settle_all`` / state introspection) so workloads and benchmarks are
+generic over the variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..crypto.keys import Keychain, replica_owner
+from ..sim.events import Simulator
+from ..sim.faults import FaultInjector
+from ..sim.latency import LatencyModel, europe_wan
+from ..sim.network import Network
+from .astro1 import Astro1Replica
+from .astro2 import Astro2Replica
+from .client import ClientNode, ConfirmCallback
+from .config import AstroConfig
+from .directory import Directory
+from .payment import ClientId, Payment
+from .replica import AstroReplicaBase
+
+__all__ = ["Astro1System", "Astro2System"]
+
+
+class _AstroSystemBase:
+    """Construction and driving logic shared by both variants."""
+
+    def __init__(
+        self,
+        genesis: Mapping[ClientId, int],
+        config: AstroConfig,
+        total_replicas: int,
+        sim: Optional[Simulator],
+        network: Optional[Network],
+        latency: Optional[LatencyModel],
+        seed: int,
+        track_kinds: bool,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.config = config
+        self.genesis: Dict[ClientId, int] = dict(genesis)
+        if network is None:
+            if latency is None:
+                latency = europe_wan(total_replicas, seed=seed)
+            network = Network(self.sim, latency=latency, track_kinds=track_kinds)
+        self.network = network
+        self.faults = FaultInjector(self.sim, self.network)
+        self.directory = Directory()
+        self.replicas: List[AstroReplicaBase] = []
+        self._replica_by_node: Dict[int, AstroReplicaBase] = {}
+        self._next_seq: Dict[ClientId, int] = {}
+        self._next_client_node = total_replicas
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _sorted_clients(self) -> List[ClientId]:
+        return sorted(self.genesis, key=repr)
+
+    def _register(self, replica: AstroReplicaBase) -> None:
+        self.replicas.append(replica)
+        self._replica_by_node[replica.node_id] = replica
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def next_seq(self, client: ClientId) -> int:
+        """Allocate the client's next sequence number (Listing 1 l.6)."""
+        seq = self._next_seq.get(client, 0) + 1
+        self._next_seq[client] = seq
+        return seq
+
+    def make_payment(
+        self, spender: ClientId, beneficiary: ClientId, amount: int
+    ) -> Payment:
+        return Payment(
+            spender,
+            self.next_seq(spender),
+            beneficiary,
+            amount,
+            submitted_at=self.sim.now,
+        )
+
+    def submit(self, spender: ClientId, beneficiary: ClientId, amount: int) -> Payment:
+        """Create and inject a payment at the spender's representative."""
+        payment = self.make_payment(spender, beneficiary, amount)
+        self.submit_payment(payment)
+        return payment
+
+    def submit_payment(self, payment: Payment) -> None:
+        representative = self.directory.rep_of(payment.spender)
+        self._replica_by_node[representative].submit_local(payment)
+
+    def add_client_node(
+        self, client: ClientId, on_confirm: Optional[ConfirmCallback] = None
+    ) -> ClientNode:
+        """Run ``client`` as a real simulated process (closed-loop driving)."""
+        representative = self.directory.rep_of(client)
+        node_id = self._next_client_node
+        self._next_client_node += 1
+        node = ClientNode(
+            self.sim,
+            node_id,
+            client,
+            self.network,
+            representative,
+            self.config,
+            on_confirm=on_confirm,
+        )
+        self._replica_by_node[representative].client_nodes[client] = node_id
+        return node
+
+    def add_confirm_hook(self, hook: Callable[[Payment, float], None]) -> None:
+        """Observe settlements at each spender's representative."""
+        for replica in self.replicas:
+            replica.confirm_hooks.append(hook)
+
+    def settle_all(self, max_events: int = 50_000_000) -> None:
+        """Run the simulation until no events remain (quiescence)."""
+        self.sim.run_until_idle(max_events=max_events)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def replica(self, index: int) -> AstroReplicaBase:
+        return self.replicas[index]
+
+    def replica_by_node(self, node_id: int) -> AstroReplicaBase:
+        return self._replica_by_node[node_id]
+
+    def representative_of(self, client: ClientId) -> AstroReplicaBase:
+        return self._replica_by_node[self.directory.rep_of(client)]
+
+    def settled_counts(self) -> List[int]:
+        return [replica.settled_count for replica in self.replicas]
+
+    def balances_at(self, index: int = 0) -> Dict[ClientId, int]:
+        return dict(self.replicas[index].state.balances)
+
+
+class Astro1System(_AstroSystemBase):
+    """Astro I deployment: N replicas, full replication, Bracha BRB."""
+
+    def __init__(
+        self,
+        num_replicas: int = 4,
+        genesis: Optional[Mapping[ClientId, int]] = None,
+        config: Optional[AstroConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        track_kinds: bool = False,
+        rep_assignment: Optional[Mapping[ClientId, int]] = None,
+    ) -> None:
+        if config is None:
+            config = AstroConfig(num_replicas=num_replicas)
+        if config.num_shards != 1:
+            raise ValueError("Astro I does not support sharding (§IV-A)")
+        super().__init__(
+            genesis if genesis is not None else {},
+            config,
+            config.num_replicas,
+            sim,
+            network,
+            latency,
+            seed,
+            track_kinds,
+        )
+        members = tuple(range(config.num_replicas))
+        self.directory.register_shard(0, members)
+        clients = self._sorted_clients()
+        for position, client in enumerate(clients):
+            if rep_assignment is not None:
+                representative = rep_assignment[client]
+            else:
+                representative = members[position % len(members)]
+            self.directory.register_client(client, representative)
+        for node_id in members:
+            self._register(
+                Astro1Replica(
+                    self.sim,
+                    node_id,
+                    self.network,
+                    config,
+                    dict(self.genesis),
+                    self.directory,
+                    list(members),
+                )
+            )
+
+    def total_value(self, index: int = 0) -> int:
+        """Sum of balances at one replica (conserved in Astro I)."""
+        return self.replicas[index].state.total_balance()
+
+
+class Astro2System(_AstroSystemBase):
+    """Astro II deployment: ``num_shards`` shards of ``num_replicas`` each.
+
+    ``config.num_replicas`` is the *per-shard* size, matching the paper's
+    "each shard consists of N = 52 replicas" (§VI-C2).  With one shard
+    this is exactly the non-sharded Astro II of §IV.
+    """
+
+    def __init__(
+        self,
+        num_replicas: int = 4,
+        num_shards: int = 1,
+        genesis: Optional[Mapping[ClientId, int]] = None,
+        config: Optional[AstroConfig] = None,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        track_kinds: bool = False,
+        keychain: Optional[Keychain] = None,
+        rep_assignment: Optional[Mapping[ClientId, int]] = None,
+        shard_assignment: Optional[Mapping[ClientId, int]] = None,
+    ) -> None:
+        if config is None:
+            config = AstroConfig(num_replicas=num_replicas, num_shards=num_shards)
+        total = config.num_replicas * config.num_shards
+        super().__init__(
+            genesis if genesis is not None else {},
+            config,
+            total,
+            sim,
+            network,
+            latency,
+            seed,
+            track_kinds,
+        )
+        self.keychain = keychain if keychain is not None else Keychain(seed=seed + 17)
+        per_shard = config.num_replicas
+        for shard in range(config.num_shards):
+            members = tuple(range(shard * per_shard, (shard + 1) * per_shard))
+            self.directory.register_shard(shard, members)
+        clients = self._sorted_clients()
+        for position, client in enumerate(clients):
+            if rep_assignment is not None:
+                representative = rep_assignment[client]
+            else:
+                if shard_assignment is not None:
+                    shard = shard_assignment[client]
+                else:
+                    shard = position % config.num_shards
+                members = self.directory.members(shard)
+                representative = members[(position // config.num_shards) % len(members)]
+            self.directory.register_client(client, representative)
+        for shard in range(config.num_shards):
+            shard_clients = set(self.directory.clients_of_shard(shard))
+            shard_genesis = {
+                client: amount
+                for client, amount in self.genesis.items()
+                if client in shard_clients
+            }
+            for node_id in self.directory.members(shard):
+                key = self.keychain.generate(replica_owner(node_id))
+                self._register(
+                    Astro2Replica(
+                        self.sim,
+                        node_id,
+                        self.network,
+                        config,
+                        dict(shard_genesis),
+                        self.directory,
+                        self.keychain,
+                        key,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Value accounting (tests / invariants)
+    # ------------------------------------------------------------------
+    def total_value(self) -> int:
+        """Global conserved value, from one reference replica per shard.
+
+        In Astro II a settled payment's value lives in limbo between the
+        spender's debit and the beneficiary's materialization; the total is
+        Σ balances + Σ amounts of settled-but-unmaterialized payments.
+        """
+        reference: Dict[int, Astro2Replica] = {
+            shard: self._replica_by_node[self.directory.members(shard)[0]]
+            for shard in self.directory.shard_ids
+        }
+        total = 0
+        outstanding = 0
+        for shard, replica in reference.items():
+            total += replica.state.total_balance()
+            for xlog in replica.state.xlogs.values():
+                for payment in xlog:
+                    beneficiary = payment.beneficiary
+                    ben_shard = self.directory.shard_of_client(beneficiary)
+                    ben_replica = reference[ben_shard]
+                    used = ben_replica._used_deps.get(beneficiary, ())
+                    if payment.identifier not in used:
+                        outstanding += payment.amount
+        return total + outstanding

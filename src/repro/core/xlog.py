@@ -1,0 +1,82 @@
+"""Exclusive logs — the paper's core abstraction (§II).
+
+An xlog is an append-only log of the outgoing payments of exactly one
+client, ordered by the sequence numbers the client herself assigns.  Only
+the owner may append (enforced here structurally), which is the property
+that lets Astro replicate xlogs with broadcast instead of consensus: there
+are never concurrent appends to one log.
+
+Storing the full log (rather than just balance + sequence number) is what
+enables auditability and reconfiguration (§II, §A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from .payment import ClientId, Payment
+
+__all__ = ["ExclusiveLog", "XlogViolation"]
+
+
+class XlogViolation(Exception):
+    """An append that would violate xlog exclusivity or ordering."""
+
+
+class ExclusiveLog:
+    """Append-only, gap-free log of one client's outgoing payments."""
+
+    __slots__ = ("owner", "_entries")
+
+    def __init__(self, owner: ClientId) -> None:
+        self.owner = owner
+        self._entries: List[Payment] = []
+
+    def append(self, payment: Payment) -> None:
+        """Append the owner's next payment.
+
+        Raises :class:`XlogViolation` if the payment belongs to a
+        different spender or does not carry the next sequence number —
+        both indicate a bug in the replica, not adversarial input, since
+        replicas validate before appending.
+        """
+        if payment.spender != self.owner:
+            raise XlogViolation(
+                f"payment by {payment.spender!r} appended to xlog of {self.owner!r}"
+            )
+        expected = len(self._entries) + 1
+        if payment.seq != expected:
+            raise XlogViolation(
+                f"xlog of {self.owner!r} expected seq {expected}, got {payment.seq}"
+            )
+        self._entries.append(payment)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the latest entry (0 when empty)."""
+        return len(self._entries)
+
+    def entries(self) -> Tuple[Payment, ...]:
+        return tuple(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Payment]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> Payment:
+        return self._entries[index]
+
+    def is_prefix_of(self, other: "ExclusiveLog") -> bool:
+        """True if this log is a (possibly equal) prefix of ``other``.
+
+        Correct replicas' copies of the same xlog are always related by
+        prefix — the consistency condition tests assert.
+        """
+        if self.owner != other.owner or len(self) > len(other):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self._entries, other._entries))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExclusiveLog owner={self.owner!r} len={len(self)}>"

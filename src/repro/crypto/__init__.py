@@ -1,0 +1,30 @@
+"""Simulated cryptography substrate.
+
+Provides structurally unforgeable signatures and MACs plus a CPU cost
+model, standing in for Go's ECDSA P-256 / HMAC implementations used by the
+paper (§VI-A).  See DESIGN.md §1 for why the substitution preserves the
+protocols' behaviour.
+"""
+
+from . import costs
+from .hashing import Digest, canonical, digest
+from .keys import CryptoError, Keychain, KeyPair, client_owner, replica_owner
+from .mac import MacAuthenticator, MacTag
+from .signatures import Signature, sign, verify
+
+__all__ = [
+    "costs",
+    "Digest",
+    "canonical",
+    "digest",
+    "CryptoError",
+    "Keychain",
+    "KeyPair",
+    "client_owner",
+    "replica_owner",
+    "MacAuthenticator",
+    "MacTag",
+    "Signature",
+    "sign",
+    "verify",
+]

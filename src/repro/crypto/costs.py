@@ -1,0 +1,61 @@
+"""CPU cost model for cryptographic operations.
+
+The paper's two Astro variants differ exactly in their crypto/CPU vs
+message-complexity trade-off (§IV-A): Astro I uses cheap MACs but O(N²)
+messages; Astro II uses ECDSA P-256 signatures (Go standard library,
+§VI-A) but O(N) messages.  Simulated nodes charge these service times to
+their CPU servers so that trade-off shows up in the measured numbers.
+
+Values approximate Go ``crypto/ecdsa`` P-256 and HMAC-SHA256 on a
+t2.medium vCore; absolute accuracy is unnecessary — only the relative
+magnitudes (sig ≫ MAC ≫ hash) drive the reproduced shapes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ECDSA_SIGN",
+    "ECDSA_VERIFY",
+    "MAC_COMPUTE",
+    "MAC_VERIFY",
+    "HASH_PER_PAYMENT",
+    "MESSAGE_OVERHEAD",
+    "SEND_OVERHEAD",
+    "PER_BYTE_CPU",
+    "SIGNATURE_BYTES",
+    "MAC_BYTES",
+    "HASH_BYTES",
+]
+
+#: ECDSA P-256 sign, seconds (Go stdlib ≈ 30 µs/op on one vCore).
+ECDSA_SIGN = 35e-6
+
+#: ECDSA P-256 verify, seconds (Go stdlib ≈ 90 µs/op).
+ECDSA_VERIFY = 95e-6
+
+#: HMAC-SHA256 over a small message, seconds.
+MAC_COMPUTE = 1.2e-6
+
+#: MAC verification cost equals recomputation.
+MAC_VERIFY = 1.2e-6
+
+#: SHA-256 hashing per ~100-byte payment inside a batch.
+HASH_PER_PAYMENT = 0.4e-6
+
+#: Fixed per-message CPU overhead (syscalls, dispatch).
+MESSAGE_OVERHEAD = 12e-6
+
+#: Send-side per-message CPU overhead (marshalling + syscall).
+SEND_OVERHEAD = 6e-6
+
+#: CPU time per byte for (de)serialization and copying (~0.7 GB/s/core).
+PER_BYTE_CPU = 1.5e-9
+
+#: Wire size of an ECDSA P-256 signature (r, s).
+SIGNATURE_BYTES = 64
+
+#: Wire size of an HMAC-SHA256 tag.
+MAC_BYTES = 32
+
+#: Wire size of a SHA-256 digest.
+HASH_BYTES = 32

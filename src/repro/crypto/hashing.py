@@ -1,0 +1,47 @@
+"""Content hashing for the simulated crypto layer.
+
+Real SHA-256 would dominate the Python interpreter's time without adding
+fidelity, so digests are computed structurally: a digest is a 64-bit hash
+of the canonical representation of the message content.  Within a
+simulation run this is collision-free with overwhelming probability, which
+is the same guarantee a real hash provides; protocols only compare digests
+for equality and use them as dictionary keys, so an ``int`` digest keeps
+those operations O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["canonical", "digest", "Digest"]
+
+#: A digest is an opaque 64-bit integer; protocols only compare equality.
+Digest = int
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def canonical(value: Any) -> Any:
+    """Return a hashable canonical form of ``value``.
+
+    Supports the value types used in protocol messages: primitives,
+    tuples/lists, dicts (sorted by key), frozensets, and objects exposing
+    ``canonical()``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(canonical(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((canonical(k), canonical(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(map(canonical, value), key=repr))
+    method = getattr(value, "canonical", None)
+    if callable(method):
+        return ("obj", type(value).__name__, method())
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def digest(value: Any) -> Digest:
+    """Collision-free (within a run) 64-bit digest of ``value``."""
+    return hash(("digest", canonical(value))) & _MASK

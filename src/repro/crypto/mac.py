@@ -1,0 +1,71 @@
+"""Message authentication codes for authenticated point-to-point links.
+
+Astro I's Bracha broadcast relies on authenticated links via MACs rather
+than signatures (§IV-A).  The simulated network already prevents sender
+spoofing, so protocol correctness does not depend on this module; it
+exists to (a) model the MAC CPU costs Astro I pays, and (b) let tests
+exercise tag verification explicitly (e.g. a tampered-message test).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from .hashing import canonical
+from .keys import CryptoError, Keychain
+
+__all__ = ["MacAuthenticator", "MacTag"]
+
+
+class MacTag:
+    """An HMAC tag over content under a pairwise key."""
+
+    __slots__ = ("pair", "_token")
+
+    def __init__(self, pair: Tuple[Hashable, Hashable], token: int) -> None:
+        self.pair = pair
+        self._token = token
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MacTag)
+            and self.pair == other.pair
+            and self._token == other._token
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pair, self._token))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MacTag pair={self.pair!r}>"
+
+
+class MacAuthenticator:
+    """Computes/verifies pairwise MACs using keychain-derived link keys.
+
+    The symmetric key for link (a, b) is derived from both parties'
+    secrets, so either endpoint can compute and verify tags for that link
+    and nobody else can.
+    """
+
+    def __init__(self, keychain: Keychain) -> None:
+        self._keychain = keychain
+
+    def _link_key(self, a: Hashable, b: Hashable) -> int:
+        first, second = sorted((a, b), key=repr)
+        return hash(
+            (self._keychain._secret_of(first), self._keychain._secret_of(second))
+        )
+
+    def tag(self, src: Hashable, dst: Hashable, content: Any) -> MacTag:
+        pair = (src, dst)
+        token = hash((self._link_key(src, dst), canonical(content)))
+        return MacTag(pair, token & 0xFFFFFFFFFFFFFFFF)
+
+    def verify(
+        self, tag: MacTag, src: Hashable, dst: Hashable, content: Any
+    ) -> bool:
+        if not isinstance(tag, MacTag) or tag.pair != (src, dst):
+            return False
+        expected = hash((self._link_key(src, dst), canonical(content)))
+        return tag._token == (expected & 0xFFFFFFFFFFFFFFFF)

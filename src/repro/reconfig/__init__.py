@@ -1,0 +1,21 @@
+"""Asynchronous reconfiguration (Appendix A).
+
+Consensusless membership changes for Astro (views, join/leave protocol,
+state transfer), the dynamic broadcast layer (DBRB/QDBRB), and the
+consensus-based reconfiguration baseline used for Fig. 8.
+"""
+
+from .consensus_reconfig import measure_consensus_join_latency
+from .dbrb import DynamicBroadcast
+from .membership import JoinRequest, ReconfigReplica, ViewInstalled, ViewProposal
+from .views import View
+
+__all__ = [
+    "measure_consensus_join_latency",
+    "DynamicBroadcast",
+    "JoinRequest",
+    "ReconfigReplica",
+    "ViewInstalled",
+    "ViewProposal",
+    "View",
+]

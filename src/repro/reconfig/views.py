@@ -1,0 +1,69 @@
+"""Views: numbered replica sets (Appendix A).
+
+Throughout a system's lifetime each correct replica passes through a
+sequence of numbered views; a view is the set of replicas a replica
+considers to constitute the system.  Installed views form a sequence —
+the invariant the membership protocol maintains and tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from ..brb.quorums import byzantine_quorum, max_faulty
+
+__all__ = ["View"]
+
+
+class View:
+    """An immutable numbered membership set."""
+
+    __slots__ = ("number", "members")
+
+    def __init__(self, number: int, members: Iterable[int]) -> None:
+        self.number = number
+        self.members: FrozenSet[int] = frozenset(members)
+        if not self.members:
+            raise ValueError("a view must have at least one member")
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def f(self) -> int:
+        return max_faulty(self.n)
+
+    @property
+    def quorum(self) -> int:
+        return byzantine_quorum(self.n, self.f)
+
+    def with_member(self, node_id: int) -> "View":
+        """Successor view including ``node_id`` (a join)."""
+        if node_id in self.members:
+            raise ValueError(f"node {node_id} already a member")
+        return View(self.number + 1, self.members | {node_id})
+
+    def without_member(self, node_id: int) -> "View":
+        """Successor view excluding ``node_id`` (a leave)."""
+        if node_id not in self.members:
+            raise ValueError(f"node {node_id} not a member")
+        if len(self.members) == 1:
+            raise ValueError("cannot remove the last member")
+        return View(self.number + 1, self.members - {node_id})
+
+    def canonical(self) -> Tuple:
+        return ("view", self.number, tuple(sorted(self.members)))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, View)
+            and self.number == other.number
+            and self.members == other.members
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.number, self.members))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<View #{self.number} n={self.n}>"

@@ -1,0 +1,154 @@
+"""Discrete-event simulation core.
+
+The simulator drives every protocol in this repository.  It is a classic
+calendar-queue engine: callbacks are scheduled at absolute simulated times
+and executed in timestamp order.  Determinism is guaranteed by breaking
+timestamp ties with a monotonically increasing sequence number, so two runs
+with the same seed produce identical histories.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven in an inconsistent way."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled with
+    :meth:`cancel`.  A cancelled event stays in the calendar queue but is
+    skipped when its time comes (lazy deletion keeps scheduling O(log n)).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq}{state} fn={self.fn!r}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one simulated second elapsed")
+        sim.run(until=10.0)
+
+    The clock (:attr:`now`) only advances when :meth:`run` executes events;
+    callbacks observe a consistent global time.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        # Heap entries are (time, seq, event) tuples: tuple comparison is
+        # C-level and never reaches the Event object, which keeps the hot
+        # loop an order of magnitude cheaper than comparing rich objects.
+        self._heap: List[tuple] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Execute events in order.
+
+        Runs until the queue drains, the clock passes ``until``, or
+        ``max_events`` callbacks have executed — whichever comes first.
+        Returns the number of events executed by this call.  When ``until``
+        is given the clock is advanced to exactly ``until`` on return, so
+        subsequent measurements see a consistent window edge.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                event = pop(heap)[2]
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.fn(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+            self.events_executed += executed
+        if until is not None and self.now < until:
+            self.now = until
+        return executed
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        executed = self.run(max_events=max_events)
+        if self._heap and executed >= max_events:
+            raise SimulationError(
+                f"simulation did not quiesce within {max_events} events"
+            )
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={self.pending}>"

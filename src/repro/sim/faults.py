@@ -1,0 +1,83 @@
+"""Fault injection: crash-stop failures, asynchrony, partitions.
+
+Reproduces the two fault classes of the paper's robustness evaluation
+(§VI-D):
+
+* **crash-stop** — a replica halts at a chosen time and never recovers
+  (the paper kills the process at t=30 s);
+* **asynchrony** — every packet leaving a replica is delayed by a fixed
+  amount (the paper runs ``tc qdisc change dev eth0 root netem delay
+  100ms`` at t=30 s).
+
+Partitions are additionally provided for adversarial-schedule tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .events import Simulator
+from .network import Network
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules faults against a :class:`~repro.sim.network.Network`."""
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.log: List[Tuple[float, str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Crash-stop
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int, at: float = 0.0) -> None:
+        """Crash ``node_id`` at absolute time ``at`` (now if in the past)."""
+        self.sim.schedule_at(max(at, self.sim.now), self._do_crash, node_id)
+
+    def _do_crash(self, node_id: int) -> None:
+        self.network.crash(node_id)
+        self.log.append((self.sim.now, "crash", node_id))
+
+    # ------------------------------------------------------------------
+    # Asynchrony (tc netem)
+    # ------------------------------------------------------------------
+    def delay_egress(self, node_id: int, extra: float, at: float = 0.0) -> None:
+        """From time ``at``, delay all messages leaving ``node_id``."""
+        self.sim.schedule_at(
+            max(at, self.sim.now), self._do_delay, node_id, extra
+        )
+
+    def _do_delay(self, node_id: int, extra: float) -> None:
+        self.network.set_egress_delay(node_id, extra)
+        self.log.append((self.sim.now, "delay", (node_id, extra)))
+
+    def delay_all(self, node_ids: Iterable[int], extra: float, at: float = 0.0) -> None:
+        """Uniform extra delay at several nodes (Table I's +20 ms setup)."""
+        for node_id in node_ids:
+            self.delay_egress(node_id, extra, at=at)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(
+        self, group_a: Iterable[int], group_b: Iterable[int], at: float = 0.0
+    ) -> None:
+        """Sever connectivity between two groups (both directions)."""
+        pairs = [(a, b) for a in group_a for b in group_b]
+        self.sim.schedule_at(max(at, self.sim.now), self._do_partition, pairs)
+
+    def _do_partition(self, pairs: List[Tuple[int, int]]) -> None:
+        for a, b in pairs:
+            self.network.block(a, b)
+            self.network.block(b, a)
+        self.log.append((self.sim.now, "partition", tuple(pairs)))
+
+    def heal(self, at: float = 0.0) -> None:
+        self.sim.schedule_at(max(at, self.sim.now), self._do_heal)
+
+    def _do_heal(self) -> None:
+        self.network.heal()
+        self.log.append((self.sim.now, "heal", None))

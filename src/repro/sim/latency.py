@@ -1,0 +1,139 @@
+"""Network latency models.
+
+The paper deploys replicas across four Amazon EC2 regions in Europe
+(Frankfurt, Ireland, London, Paris) with ~20 ms inter-region round-trip
+time and sub-millisecond intra-region latency (§VI-B).  The models here
+produce one-way propagation delays for the simulator's network layer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "RegionLatency",
+    "EUROPE_REGIONS",
+    "europe_wan",
+]
+
+#: The four EU regions used throughout the paper's evaluation.
+EUROPE_REGIONS: Tuple[str, ...] = ("frankfurt", "ireland", "london", "paris")
+
+#: One-way inter-region latency in seconds (≈ half the measured RTT).
+#: Values approximate public EC2 inter-region measurements circa 2019.
+_EU_ONE_WAY: Dict[Tuple[str, str], float] = {
+    ("frankfurt", "ireland"): 0.0125,
+    ("frankfurt", "london"): 0.0075,
+    ("frankfurt", "paris"): 0.0050,
+    ("ireland", "london"): 0.0055,
+    ("ireland", "paris"): 0.0090,
+    ("london", "paris"): 0.0045,
+}
+
+_INTRA_REGION_ONE_WAY = 0.00035  # ~0.7 ms RTT inside one region
+
+
+class LatencyModel:
+    """Base class: maps (src, dst) node ids to a one-way delay sample."""
+
+    def sample(self, src: int, dst: int) -> float:
+        raise NotImplementedError
+
+    def expected(self, src: int, dst: int) -> float:
+        """Mean one-way delay (used by analytic helpers and tests)."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every pair of nodes observes the same fixed one-way delay."""
+
+    def __init__(self, delay: float = 0.01) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.delay = delay
+
+    def sample(self, src: int, dst: int) -> float:
+        return self.delay
+
+    def expected(self, src: int, dst: int) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """One-way delay drawn uniformly from [low, high], per message."""
+
+    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"invalid latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self._rng = random.Random(seed)
+
+    def sample(self, src: int, dst: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def expected(self, src: int, dst: int) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class RegionLatency(LatencyModel):
+    """Region-based WAN latency with multiplicative jitter.
+
+    Nodes are assigned to named regions; pairs in the same region see the
+    intra-region delay, others the configured inter-region delay.  Each
+    message receives independent jitter of ±``jitter`` (fractional).
+    """
+
+    def __init__(
+        self,
+        assignment: Sequence[str],
+        pair_delays: Dict[Tuple[str, str], float],
+        intra_delay: float = _INTRA_REGION_ONE_WAY,
+        jitter: float = 0.10,
+        seed: int = 0,
+    ) -> None:
+        self.assignment: List[str] = list(assignment)
+        self.intra_delay = intra_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._delays: Dict[Tuple[str, str], float] = {}
+        for (a, b), delay in pair_delays.items():
+            self._delays[(a, b)] = delay
+            self._delays[(b, a)] = delay
+
+    def region_of(self, node: int) -> str:
+        return self.assignment[node % len(self.assignment)]
+
+    def base_delay(self, src: int, dst: int) -> float:
+        region_a = self.region_of(src)
+        region_b = self.region_of(dst)
+        if region_a == region_b:
+            return self.intra_delay
+        return self._delays[(region_a, region_b)]
+
+    def sample(self, src: int, dst: int) -> float:
+        base = self.base_delay(src, dst)
+        if self.jitter <= 0:
+            return base
+        factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return base * factor
+
+    def expected(self, src: int, dst: int) -> float:
+        return self.base_delay(src, dst)
+
+
+def europe_wan(num_nodes: int, seed: int = 0, jitter: float = 0.10) -> RegionLatency:
+    """Latency model matching the paper's deployment (§VI-B).
+
+    Nodes are spread uniformly (round-robin over a seeded shuffle) across
+    the four EU regions, as the paper deploys replicas "randomly across the
+    corresponding regions".
+    """
+    rng = random.Random(seed)
+    assignment = [EUROPE_REGIONS[i % len(EUROPE_REGIONS)] for i in range(num_nodes)]
+    rng.shuffle(assignment)
+    return RegionLatency(assignment, _EU_ONE_WAY, jitter=jitter, seed=seed + 1)

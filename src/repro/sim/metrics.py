@@ -1,0 +1,159 @@
+"""Measurement utilities: throughput buckets and latency percentiles.
+
+The paper reports settled payments/second ("pps"), average and 95th/99th
+percentile latency, and per-second throughput timelines (Figs. 3–7,
+Table I).  These classes collect exactly those series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LatencyRecorder", "ThroughputMeter", "LatencySummary", "Counter"]
+
+
+class LatencySummary:
+    """Immutable summary of a latency sample set (seconds)."""
+
+    __slots__ = ("count", "mean", "p50", "p95", "p99", "max")
+
+    def __init__(
+        self, count: int, mean: float, p50: float, p95: float, p99: float, max_: float
+    ) -> None:
+        self.count = count
+        self.mean = mean
+        self.p50 = p50
+        self.p95 = p95
+        self.p99 = p99
+        self.max = max_
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        nan = float("nan")
+        return cls(0, nan, nan, nan, nan, nan)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return "<LatencySummary empty>"
+        return (
+            f"<LatencySummary n={self.count} mean={self.mean * 1e3:.1f}ms "
+            f"p95={self.p95 * 1e3:.1f}ms>"
+        )
+
+
+class LatencyRecorder:
+    """Records per-operation latencies within an observation window."""
+
+    def __init__(self, window_start: float = 0.0, window_end: float = math.inf):
+        self.window_start = window_start
+        self.window_end = window_end
+        self._samples: List[float] = []
+
+    def record(self, submitted_at: float, completed_at: float) -> None:
+        """Record one operation if it *completed* inside the window."""
+        if self.window_start <= completed_at <= self.window_end:
+            self._samples.append(completed_at - submitted_at)
+
+    def record_value(self, latency: float) -> None:
+        self._samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def summary(self) -> LatencySummary:
+        if not self._samples:
+            return LatencySummary.empty()
+        arr = np.asarray(self._samples)
+        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+        return LatencySummary(
+            len(arr), float(arr.mean()), float(p50), float(p95), float(p99),
+            float(arr.max()),
+        )
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class ThroughputMeter:
+    """Counts completions into fixed-width time buckets.
+
+    ``series()`` yields the per-second timeline plotted in Figs. 5–7;
+    ``rate()`` gives the average over a window, the "pps" of Fig. 3 /
+    Table I.
+    """
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive: {bucket_width}")
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self.total = 0
+
+    def record(self, at_time: float, count: int = 1) -> None:
+        index = int(at_time / self.bucket_width)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+        self.total += count
+
+    def series(self, start: float, end: float) -> List[float]:
+        """Per-bucket rates (ops/sec) for buckets fully inside [start, end)."""
+        first = int(math.ceil(start / self.bucket_width))
+        last = int(math.floor(end / self.bucket_width))
+        return [
+            self._buckets.get(i, 0) / self.bucket_width for i in range(first, last)
+        ]
+
+    def count_between(self, start: float, end: float) -> int:
+        first = int(math.ceil(start / self.bucket_width))
+        last = int(math.floor(end / self.bucket_width))
+        return sum(self._buckets.get(i, 0) for i in range(first, last))
+
+    def rate(self, start: float, end: float) -> float:
+        """Average completion rate over [start, end).
+
+        Computed over the bucket-aligned sub-window actually counted by
+        :meth:`count_between`, so a window that is not a multiple of the
+        bucket width does not bias the rate downward.
+        """
+        first = int(math.ceil(start / self.bucket_width))
+        last = int(math.floor(end / self.bucket_width))
+        covered = (last - first) * self.bucket_width
+        if covered <= 0:
+            return 0.0
+        return self.count_between(start, end) / covered
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self.total = 0
+
+
+class Counter:
+    """Named integer counters (message/protocol statistics)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()

@@ -1,0 +1,196 @@
+"""Simulated message-passing network.
+
+Implements the asynchronous, authenticated point-to-point network assumed
+by the paper (§III): messages between correct nodes are eventually
+delivered, with no bound on delivery time enforced by the protocols.  The
+simulator adds a concrete performance model on top:
+
+* sender NIC serialization (``size / bandwidth``) through a FIFO link,
+* one-way propagation latency from a :class:`~repro.sim.latency.LatencyModel`,
+* fault-injected extra egress delay (the paper's ``tc netem delay``),
+* receiver CPU service time before the protocol handler runs.
+
+Crashed nodes neither send nor receive; partitions drop messages in both
+directions.  Dropping (rather than erroring) models an asynchronous network
+in which a message to a dead host is simply never delivered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .events import Simulator
+from .latency import ConstantLatency, LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+__all__ = ["Network", "NetworkStats"]
+
+
+class NetworkStats:
+    """Aggregate traffic counters, optionally broken down by message kind."""
+
+    def __init__(self, track_kinds: bool = False) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.track_kinds = track_kinds
+        self.by_kind: Dict[str, int] = {}
+
+    def record_send(self, payload: Any, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if self.track_kinds:
+            kind = type(payload).__name__
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.by_kind.clear()
+
+
+class Network:
+    """Connects :class:`~repro.sim.node.Node` instances.
+
+    Nodes register with unique integer ids.  ``send`` runs the full
+    resource pipeline; ``deliver_direct`` bypasses it (used by test
+    harnesses that only care about logical behaviour).
+    """
+
+    #: Default per-message receive CPU cost: kernel/network-stack overhead
+    #: for one message on a commodity VM (~10 µs).
+    DEFAULT_RECV_CPU = 10e-6
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        track_kinds: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.01)
+        self.nodes: Dict[int, "Node"] = {}
+        self.stats = NetworkStats(track_kinds=track_kinds)
+        self._crashed: Set[int] = set()
+        self._egress_delay: Dict[int, float] = {}
+        self._blocked: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def unregister(self, node_id: int) -> None:
+        self.nodes.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> List[int]:
+        return list(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Fault state (driven by repro.sim.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def crash(self, node_id: int) -> None:
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: int) -> None:
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: int) -> bool:
+        return node_id in self._crashed
+
+    def set_egress_delay(self, node_id: int, extra: float) -> None:
+        """Add ``extra`` seconds to every message leaving ``node_id``.
+
+        Mirrors the paper's ``tc qdisc ... netem delay 100ms`` injection
+        (§VI-D) which delays all outgoing packets of one replica.
+        """
+        if extra <= 0:
+            self._egress_delay.pop(node_id, None)
+        else:
+            self._egress_delay[node_id] = extra
+
+    def block(self, a: int, b: int) -> None:
+        """Partition the (directed) pair: messages a→b are dropped."""
+        self._blocked.add((a, b))
+
+    def unblock(self, a: int, b: int) -> None:
+        self._blocked.discard((a, b))
+
+    def heal(self) -> None:
+        self._blocked.clear()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+    ) -> None:
+        """Send ``payload`` from node ``src`` to node ``dst``.
+
+        The message is silently dropped if the source is crashed, the
+        destination is unknown/crashed at delivery time, or the pair is
+        partitioned — the asynchronous-network abstraction has no failure
+        notifications.
+        """
+        if src in self._crashed:
+            return
+        self.stats.record_send(payload, size)
+        if (src, dst) in self._blocked:
+            self.stats.messages_dropped += 1
+            return
+        src_node = self.nodes.get(src)
+        if src_node is None:
+            raise ValueError(f"unknown source node {src}")
+        if src == dst:
+            # Loopback: no NIC serialization or propagation, but the CPU
+            # still processes the message like any other.
+            self._arrive(src, dst, payload, recv_cost)
+            return
+        serialized_at = src_node.link.transmit(size)
+        delay = self.latency.sample(src, dst)
+        extra = self._egress_delay.get(src)
+        if extra:
+            delay += extra
+        self.sim.schedule_at(
+            serialized_at + delay, self._arrive, src, dst, payload, recv_cost
+        )
+
+    def _arrive(
+        self, src: int, dst: int, payload: Any, recv_cost: Optional[float]
+    ) -> None:
+        node = self.nodes.get(dst)
+        if node is None or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        cost = recv_cost if recv_cost is not None else self.DEFAULT_RECV_CPU
+        node.cpu.submit(cost, self._dispatch, src, dst, payload)
+
+    def _dispatch(self, src: int, dst: int, payload: Any) -> None:
+        node = self.nodes.get(dst)
+        if node is None or dst in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        node.on_message(src, payload)
+
+    def deliver_direct(self, src: int, dst: int, payload: Any) -> None:
+        """Logical delivery without the resource pipeline (tests only)."""
+        node = self.nodes.get(dst)
+        if node is None or dst in self._crashed or src in self._crashed:
+            return
+        self.stats.messages_delivered += 1
+        node.on_message(src, payload)

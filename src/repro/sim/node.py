@@ -1,0 +1,114 @@
+"""Actor base class for simulated processes (replicas, clients).
+
+A :class:`Node` owns a CPU server and an outgoing link server, registers
+with a :class:`~repro.sim.network.Network`, and dispatches incoming
+payloads to handlers registered per message class.  Protocol code never
+touches the event queue directly; it sends messages and sets timers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional, Type
+
+from .events import Event, Simulator
+from .network import Network
+from .resources import CpuServer, LinkServer
+
+__all__ = ["Node"]
+
+#: Default NIC bandwidth, matching the ~30 MiB/s the paper measures
+#: between EU regions (§VI-B).
+DEFAULT_BANDWIDTH = 30 * 1024 * 1024
+
+#: Default CPU core count, matching t2.medium's 2 vCores (§VI-B).
+DEFAULT_CORES = 2.0
+
+
+class Node:
+    """A simulated process with CPU/NIC resources and message dispatch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        network: Network,
+        cores: float = DEFAULT_CORES,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.network = network
+        self.cpu = CpuServer(sim, name=f"cpu[{node_id}]", cores=cores)
+        self.link = LinkServer(sim, name=f"nic[{node_id}]", bandwidth=bandwidth)
+        self._handlers: Dict[Type[Any], Callable[[int, Any], None]] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def on(self, message_type: Type[Any], handler: Callable[[int, Any], None]) -> None:
+        """Register ``handler(src, msg)`` for messages of ``message_type``."""
+        self._handlers[message_type] = handler
+
+    def on_message(self, src: int, payload: Any) -> None:
+        handler = self._handlers.get(type(payload))
+        if handler is None:
+            self.handle_unknown(src, payload)
+        else:
+            handler(src, payload)
+
+    def handle_unknown(self, src: int, payload: Any) -> None:
+        """Hook for unregistered message types; default is to ignore them.
+
+        Ignoring (not raising) is deliberate: a Byzantine peer may send
+        garbage, and a correct replica must not crash on it.
+        """
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+    ) -> None:
+        """Send one message; ``send_cost`` CPU is folded into our server."""
+        if send_cost:
+            self.cpu.occupy(send_cost)
+        self.network.send(self.node_id, dst, payload, size=size, recv_cost=recv_cost)
+
+    def send_all(
+        self,
+        targets: Iterable[int],
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+        include_self: bool = True,
+    ) -> None:
+        """Send ``payload`` to every node in ``targets``."""
+        for dst in targets:
+            if not include_self and dst == self.node_id:
+                continue
+            self.send(dst, payload, size=size, recv_cost=recv_cost, send_cost=send_cost)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule a local callback; suppressed if we crash in between."""
+        return self.sim.schedule(delay, self._fire_timer, fn, args)
+
+    def _fire_timer(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.alive:
+            fn(*args)
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self.network.is_crashed(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.node_id}>"

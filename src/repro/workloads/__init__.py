@@ -1,0 +1,29 @@
+"""Workloads and load drivers for the evaluation."""
+
+from .drivers import ClosedLoopDriver, OpenLoopDriver
+from .smallbank import (
+    CROSS_SHARD_FRACTION,
+    SMALLBANK_MIX,
+    SmallbankWorkload,
+    bank,
+    checking,
+    savings,
+    shard_assignment,
+    smallbank_genesis,
+)
+from .uniform import UniformWorkload, uniform_genesis
+
+__all__ = [
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "CROSS_SHARD_FRACTION",
+    "SMALLBANK_MIX",
+    "SmallbankWorkload",
+    "bank",
+    "checking",
+    "savings",
+    "shard_assignment",
+    "smallbank_genesis",
+    "UniformWorkload",
+    "uniform_genesis",
+]

@@ -1,0 +1,61 @@
+"""Uniform random payment workload (§VI-B microbenchmarks).
+
+Matches the paper's request shape: "The beneficiary and amount fields are
+random, and each payment operation covers roughly 100 bytes"; spenders
+rotate over the client population so every representative carries load
+("clients pick and submit their workload to a random replica").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.payment import ClientId
+
+__all__ = ["UniformWorkload", "uniform_genesis"]
+
+
+def uniform_genesis(
+    num_clients: int, balance: int = 10**9, prefix: str = "client"
+) -> Dict[ClientId, int]:
+    """Genesis with ample balances — the paper's experiments "assume that
+    all transactions can be settled immediately" (§VI-B)."""
+    return {f"{prefix}-{i}": balance for i in range(num_clients)}
+
+
+class UniformWorkload:
+    """Generates (spender, beneficiary, amount) triples."""
+
+    def __init__(
+        self,
+        clients: Sequence[ClientId],
+        seed: int = 0,
+        min_amount: int = 1,
+        max_amount: int = 100,
+    ) -> None:
+        if len(clients) < 2:
+            raise ValueError("need at least two clients to transfer between")
+        self.clients: List[ClientId] = list(clients)
+        self._rng = random.Random(seed)
+        self.min_amount = min_amount
+        self.max_amount = max_amount
+        self._cursor = 0
+
+    def next(self) -> Tuple[ClientId, ClientId, int]:
+        """Next payment: round-robin spender, random beneficiary/amount."""
+        spender = self.clients[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.clients)
+        beneficiary = spender
+        while beneficiary == spender:
+            beneficiary = self._rng.choice(self.clients)
+        amount = self._rng.randint(self.min_amount, self.max_amount)
+        return spender, beneficiary, amount
+
+    def next_for(self, spender: ClientId) -> Tuple[ClientId, ClientId, int]:
+        """Next payment for a fixed spender (closed-loop clients)."""
+        beneficiary = spender
+        while beneficiary == spender:
+            beneficiary = self._rng.choice(self.clients)
+        amount = self._rng.randint(self.min_amount, self.max_amount)
+        return spender, beneficiary, amount

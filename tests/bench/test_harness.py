@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness (small scales: fast, deterministic)."""
+
+import functools
+
+import pytest
+
+from repro.bench.peak import find_peak
+from repro.bench.report import format_series, format_table, kilo
+from repro.bench.runner import run_open_loop
+from repro.bench.scale import current_scale
+from repro.bench.systems import (
+    build_astro1,
+    build_astro2,
+    build_bft,
+    client_ids_of,
+    scaled_batch_delay,
+)
+from repro.bench.timeline import run_timeline
+
+
+class TestBuilders:
+    def test_astro1_builder(self):
+        system = build_astro1(4, seed=1)
+        assert len(system.replicas) == 4
+        assert len(client_ids_of(system)) == 16
+
+    def test_astro2_sharded_builder(self):
+        system = build_astro2(4, num_shards=2, seed=1)
+        assert len(system.replicas) == 8
+        assert system.directory.shard_ids == [0, 1]
+
+    def test_bft_builder(self):
+        system = build_bft(4, seed=1)
+        assert len(system.replicas) == 4
+
+    def test_scaled_batch_delay_grows(self):
+        assert scaled_batch_delay(4) == pytest.approx(0.05)
+        assert scaled_batch_delay(100) > scaled_batch_delay(49) > 0.05
+
+
+class TestRunner:
+    def test_open_loop_measures_throughput_and_latency(self):
+        system = build_astro2(4, seed=2)
+        result = run_open_loop(system, rate=2000, duration=1.0, warmup=0.5)
+        assert result.achieved == pytest.approx(2000, rel=0.15)
+        assert result.goodput_ratio > 0.8
+        assert result.latency.count > 500
+        assert 0 < result.latency.mean < 1.0
+
+    def test_offered_equals_injected_rate(self):
+        system = build_astro2(4, seed=2)
+        result = run_open_loop(system, rate=1000, duration=1.0, warmup=0.5)
+        assert result.injected == pytest.approx(1500, abs=15)
+
+
+class TestPeak:
+    def test_peak_found_between_bounds(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=2000, duration=0.6, warmup=0.4, refine_steps=1
+        )
+        # The N=4 system sustains far more than 2K and is finite.
+        assert 2000 < result.peak_pps < 1_000_000
+        assert len(result.probes) >= 2
+
+    def test_walk_down_from_oversaturated_start(self):
+        factory = functools.partial(build_bft, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=400_000, duration=0.6, warmup=0.4,
+            refine_steps=1,
+        )
+        assert result.peak_pps < 400_000
+
+
+class TestTimeline:
+    def test_timeline_without_fault_is_steady(self):
+        system = build_astro1(4, seed=4)
+        result = run_timeline(
+            system, num_clients=4, warmup=2.0, window=6.0, fault=None
+        )
+        assert len(result.series) == 6
+        assert all(v > 0 for v in result.series)
+        assert result.fault_at is None
+
+    def test_timeline_with_crash_shows_drop(self):
+        system = build_astro1(4, seed=4)
+        result = run_timeline(
+            system,
+            num_clients=4,
+            warmup=2.0,
+            window=8.0,
+            fault=lambda s, t: s.faults.crash(s.replicas[3].node_id, at=t),
+            fault_offset=3.0,
+        )
+        assert result.before_fault() > result.after_fault() > 0
+
+    def test_summary_helpers(self):
+        from repro.bench.timeline import TimelineResult
+
+        timeline = TimelineResult(
+            series=[10.0, 10.0, 0.0, 0.0, 8.0, 8.0],
+            window_start=0.0,
+            fault_at=2.0,
+            completed=36,
+        )
+        assert timeline.before_fault() == pytest.approx(10.0)
+        assert timeline.min_after_fault() == 0.0
+        assert timeline.after_fault(settle_gap=2) == pytest.approx(8.0)
+
+
+class TestReport:
+    def test_kilo_formatting(self):
+        assert kilo(55_000) == "55.0K"
+        assert kilo(1_500) == "1.50K"
+        assert kilo(334) == "334"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        assert format_series([1.0, 2.5], precision=1) == "[1.0, 2.5]"
+
+
+class TestScale:
+    def test_default_scale_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_scale_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        assert current_scale().name == "full"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_full_scale_matches_paper_sizes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        scale = current_scale()
+        assert scale.fig3_sizes == tuple(range(4, 101, 6))
+        assert scale.robustness_small_n == 49
+        assert scale.robustness_large_n == 100
+        assert scale.table1_shard_size == 52

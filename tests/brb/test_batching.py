@@ -1,0 +1,156 @@
+"""Unit tests for the batching layer (§VI-A)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.brb.batching import Batch, Batcher, group_by_representative
+from repro.brb.quorums import byzantine_quorum, max_faulty, validate_system_size
+from repro.core.payment import Payment
+from repro.sim import Simulator
+
+
+class TestBatch:
+    def test_size_accounting_plain_payments(self):
+        batch = Batch([Payment("a", 1, "b", 5), Payment("a", 2, "b", 5)])
+        assert batch.batch_items == 2
+        assert batch.size_bytes == 200
+
+    def test_digest_cached_and_stable(self):
+        batch = Batch([Payment("a", 1, "b", 5)])
+        assert batch.cached_digest == batch.cached_digest
+
+    def test_equal_content_equal_digest(self):
+        a = Batch([Payment("a", 1, "b", 5)])
+        b = Batch([Payment("a", 1, "b", 5)])
+        assert a.cached_digest == b.cached_digest
+
+    def test_different_content_different_digest(self):
+        a = Batch([Payment("a", 1, "b", 5)])
+        b = Batch([Payment("a", 1, "c", 5)])
+        assert a.cached_digest != b.cached_digest
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch([])
+
+    def test_iteration_and_len(self):
+        payments = [Payment("a", i, "b", 1) for i in range(1, 4)]
+        batch = Batch(payments)
+        assert list(batch) == payments
+        assert len(batch) == 3
+
+
+class TestBatcher:
+    def test_flush_on_size(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.append, max_size=3, max_delay=10.0)
+        for i in range(3):
+            batcher.add(i)
+        assert flushed == [[0, 1, 2]]
+        assert batcher.pending_count == 0
+
+    def test_flush_on_timeout(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.append, max_size=100, max_delay=0.05)
+        batcher.add("x")
+        sim.run_until_idle()
+        assert flushed == [["x"]]
+
+    def test_timer_measured_from_first_item(self):
+        sim = Simulator()
+        flush_times = []
+        batcher = Batcher(
+            sim, lambda items: flush_times.append(sim.now),
+            max_size=100, max_delay=0.05,
+        )
+        sim.schedule(0.02, batcher.add, "a")
+        sim.schedule(0.04, batcher.add, "b")
+        sim.run_until_idle()
+        assert flush_times == [pytest.approx(0.07)]
+
+    def test_manual_flush_cancels_timer(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.append, max_size=100, max_delay=0.05)
+        batcher.add("x")
+        batcher.flush()
+        sim.run_until_idle()
+        assert flushed == [["x"]]
+
+    def test_flush_empty_is_noop(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.append)
+        batcher.flush()
+        assert flushed == []
+
+    def test_add_many(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.append, max_size=2, max_delay=1.0)
+        batcher.add_many([1, 2, 3])
+        assert flushed == [[1, 2]]
+        assert batcher.pending_count == 1
+
+    def test_batches_flushed_counter(self):
+        sim = Simulator()
+        batcher = Batcher(sim, lambda items: None, max_size=1)
+        batcher.add("a")
+        batcher.add("b")
+        assert batcher.batches_flushed == 2
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Batcher(sim, lambda items: None, max_size=0)
+        with pytest.raises(ValueError):
+            Batcher(sim, lambda items: None, max_delay=-1.0)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    def test_no_items_lost(self, items):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, flushed.extend, max_size=7, max_delay=0.01)
+        for item in items:
+            batcher.add(item)
+        sim.run_until_idle()
+        assert flushed == items
+
+
+class TestGrouping:
+    def test_group_by_representative(self):
+        payments = [Payment("a", 1, "b", 1), Payment("a", 2, "c", 1),
+                    Payment("x", 1, "b", 1)]
+        reps = {"b": 10, "c": 20}
+        groups = group_by_representative(payments, lambda p: reps[p.beneficiary])
+        assert set(groups) == {10, 20}
+        assert [p.beneficiary for p in groups[10]] == ["b", "b"]
+        assert [p.beneficiary for p in groups[20]] == ["c"]
+
+
+class TestQuorums:
+    def test_max_faulty(self):
+        assert max_faulty(4) == 1
+        assert max_faulty(10) == 3
+        assert max_faulty(100) == 33
+
+    def test_quorum_is_2f_plus_1_at_optimal_size(self):
+        for f in range(1, 34):
+            n = 3 * f + 1
+            assert byzantine_quorum(n, f) == 2 * f + 1
+
+    def test_quorum_intersection_property(self):
+        """Two quorums always intersect in at least one correct replica."""
+        for n in range(4, 40):
+            f = max_faulty(n)
+            q = byzantine_quorum(n, f)
+            assert 2 * q - n >= f + 1
+
+    def test_validate_system_size(self):
+        validate_system_size(4, 1)
+        with pytest.raises(ValueError):
+            validate_system_size(3, 1)
+        with pytest.raises(ValueError):
+            validate_system_size(4, -1)

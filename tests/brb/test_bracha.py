@@ -1,0 +1,165 @@
+"""Unit tests for Bracha's BRB (Astro I broadcast layer, Listing 5)."""
+
+import pytest
+
+from repro.brb.bracha import BrachaBroadcast, BrbEcho, BrbPrepare, BrbReady
+from repro.sim import ConstantLatency, Network, Node, Simulator, UniformLatency
+
+
+def build(n=4, latency=None, fifo=True):
+    sim = Simulator()
+    network = Network(sim, latency=latency or ConstantLatency(0.005))
+    nodes = [Node(sim, i, network) for i in range(n)]
+    delivered = {i: [] for i in range(n)}
+    layers = [
+        BrachaBroadcast(
+            nodes[i],
+            range(n),
+            (lambda i: lambda o, s, p: delivered[i].append((o, s, p)))(i),
+            fifo=fifo,
+        )
+        for i in range(n)
+    ]
+    return sim, network, nodes, layers, delivered
+
+
+def test_reliability_all_correct_deliver():
+    sim, network, nodes, layers, delivered = build()
+    layers[0].broadcast(1, "payload", 100)
+    sim.run_until_idle()
+    for i in range(4):
+        assert delivered[i] == [(0, 1, "payload")]
+
+
+def test_fifo_delivery_per_origin():
+    sim, network, nodes, layers, delivered = build(latency=UniformLatency(0.001, 0.03, seed=2))
+    for seq in range(1, 6):
+        layers[0].broadcast(seq, f"m{seq}", 100)
+    sim.run_until_idle()
+    for i in range(4):
+        assert [p for (_, _, p) in delivered[i]] == ["m1", "m2", "m3", "m4", "m5"]
+
+
+def test_integrity_no_duplicate_delivery():
+    sim, network, nodes, layers, delivered = build()
+    layers[1].broadcast(1, "once", 100)
+    sim.run_until_idle()
+    counts = [len(delivered[i]) for i in range(4)]
+    assert counts == [1, 1, 1, 1]
+
+
+def test_concurrent_broadcasters_all_deliver():
+    sim, network, nodes, layers, delivered = build()
+    for i in range(4):
+        layers[i].broadcast(1, f"from-{i}", 100)
+    sim.run_until_idle()
+    for i in range(4):
+        assert sorted(p for (_, _, p) in delivered[i]) == [
+            "from-0", "from-1", "from-2", "from-3"
+        ]
+
+
+def test_totality_with_silent_broadcaster_after_prepare():
+    """The broadcaster crashes right after PREPARE: echo amplification
+    still drives every correct replica to delivery (totality)."""
+    sim, network, nodes, layers, delivered = build()
+    layers[0].broadcast(1, "x", 100)
+    network.crash(0)
+    sim.run_until_idle()
+    for i in range(1, 4):
+        assert delivered[i] == [(0, 1, "x")]
+
+
+def test_equivocating_broadcaster_agreement():
+    """A Byzantine broadcaster sends conflicting payloads to disjoint
+    halves.  Correct replicas may deliver nothing, but never deliver
+    different payloads for the same identifier."""
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.005))
+    n = 4
+    nodes = [Node(sim, i, network) for i in range(n)]
+    delivered = {i: [] for i in range(n)}
+    layers = {
+        i: BrachaBroadcast(
+            nodes[i], range(n),
+            (lambda i: lambda o, s, p: delivered[i].append((o, s, p)))(i),
+        )
+        for i in range(1, n)  # replica 0 is Byzantine: raw messages only
+    }
+    byz = Node(sim, 99, network)  # crafting endpoint unused; use node 0
+    # Byzantine node 0 sends PREPARE "a" to {1, 2} and "a'" to {3}.
+    network.send(0, 1, BrbPrepare(1, "a", 148), size=148)
+    network.send(0, 2, BrbPrepare(1, "a", 148), size=148)
+    network.send(0, 3, BrbPrepare(1, "conflicting", 148), size=148)
+    sim.run_until_idle()
+    payloads = {p for i in range(1, n) for (_, _, p) in delivered[i]}
+    assert len(payloads) <= 1, f"agreement violated: {payloads}"
+
+
+def test_byzantine_echo_flood_cannot_force_delivery():
+    """f=1: a single Byzantine replica echoes/readies a fabricated payload;
+    the 2f+1 quorum keeps correct replicas from delivering it."""
+    sim, network, nodes, layers, delivered = build()
+    fake = BrbReady(0, 1, "fabricated", 148)
+    for _ in range(5):  # repeated READYs from the same Byzantine sender
+        network.send(3, 1, fake, size=148)
+    sim.run_until_idle()
+    assert delivered[1] == []
+
+
+def test_ready_amplification_from_f_plus_one():
+    """f+1 READYs trigger a correct replica's own READY (Listing 5 l.26)."""
+    sim, network, nodes, layers, delivered = build(n=4)
+    # Simulate two distinct replicas (2 = f+1) sending READY for a payload
+    # that replica 1 never saw a PREPARE for.
+    ready = BrbReady(0, 1, "amplified", 148)
+    network.send(2, 1, ready, size=148)
+    network.send(3, 1, ready, size=148)
+    sim.run_until_idle()
+    instance = layers[1]._instances[(0, 1)]
+    assert instance.ready_sent
+
+
+def test_out_of_order_completion_buffers_for_fifo():
+    sim, network, nodes, layers, delivered = build()
+    # Broadcast seq 2 before seq 1; FIFO must still deliver 1 then 2.
+    layers[0].broadcast(2, "second", 100)
+    sim.run(until=0.05)
+    layers[0].broadcast(1, "first", 100)
+    sim.run_until_idle()
+    for i in range(4):
+        assert [s for (_, s, _) in delivered[i]] == [1, 2]
+
+
+def test_non_fifo_mode_delivers_immediately():
+    sim, network, nodes, layers, delivered = build(fifo=False)
+    layers[0].broadcast(5, "gap", 100)
+    sim.run_until_idle()
+    assert delivered[1] == [(0, 5, "gap")]
+
+
+def test_delivered_count():
+    sim, network, nodes, layers, delivered = build()
+    layers[0].broadcast(1, "x", 100)
+    layers[1].broadcast(1, "y", 100)
+    sim.run_until_idle()
+    assert layers[2].delivered_count == 2
+
+
+def test_endpoint_must_be_member():
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.01))
+    node = Node(sim, 9, network)
+    with pytest.raises(ValueError):
+        BrachaBroadcast(node, [0, 1, 2], lambda o, s, p: None)
+
+
+def test_larger_system_with_f_crashes_still_delivers():
+    n, f = 10, 3
+    sim, network, nodes, layers, delivered = build(n=n)
+    for node_id in range(n - f, n):
+        network.crash(node_id)
+    layers[0].broadcast(1, "resilient", 100)
+    sim.run_until_idle()
+    for i in range(n - f):
+        assert delivered[i] == [(0, 1, "resilient")]

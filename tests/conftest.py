@@ -1,0 +1,31 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import Keychain, replica_owner
+from repro.sim import ConstantLatency, Network, Node, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim, latency=ConstantLatency(0.005))
+
+
+@pytest.fixture
+def keychain() -> Keychain:
+    return Keychain(seed=1234)
+
+
+def make_nodes(sim: Simulator, network: Network, count: int) -> list:
+    return [Node(sim, node_id, network) for node_id in range(count)]
+
+
+def replica_keys(keychain: Keychain, count: int) -> list:
+    return [keychain.generate(replica_owner(node_id)) for node_id in range(count)]

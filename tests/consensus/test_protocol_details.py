@@ -1,0 +1,117 @@
+"""Focused tests of consensus protocol internals."""
+
+import pytest
+
+from repro.brb.batching import Batch
+from repro.consensus.config import BftConfig
+from repro.consensus.messages import Propose, Write
+from repro.consensus.system import BftSystem
+from repro.core.payment import Payment
+
+GENESIS = {"a": 1000, "b": 1000}
+
+
+def build(n=4, **kwargs):
+    return BftSystem(num_replicas=n, genesis=dict(GENESIS), **kwargs)
+
+
+def test_non_leader_proposals_rejected():
+    system = build()
+    impostor = system.replicas[2]  # leader of view 0 is replica 0
+    batch = Batch([Payment("a", 1, "b", 5)])
+    message = Propose(0, 1, batch, 148)
+    for replica in system.replicas:
+        if replica is impostor:
+            continue
+        system.network.send(
+            impostor.node_id, replica.node_id, message, size=148
+        )
+    system.settle_all(max_time=10)
+    assert system.settled_counts() == [0, 0, 0, 0]
+
+
+def test_wrong_view_proposals_ignored():
+    system = build()
+    leader = system.replicas[0]
+    batch = Batch([Payment("a", 1, "b", 5)])
+    stale = Propose(7, 1, batch, 148)  # view 7 does not exist
+    for replica in system.replicas[1:]:
+        system.network.send(leader.node_id, replica.node_id, stale, size=148)
+    system.settle_all(max_time=10)
+    assert system.settled_counts() == [0, 0, 0, 0]
+
+
+def test_write_quorum_needs_matching_digest():
+    """WRITE votes for a different digest than the proposal never lead to
+    an ACCEPT from a correct replica."""
+    system = build()
+    system.submit("a", "b", 5)
+    # Byzantine replica floods wrong-digest writes; harmless.
+    for seq in (1,):
+        wrong = Write(0, seq, 0xBAD)
+        for replica in system.replicas[:3]:
+            system.network.send(3, replica.node_id, wrong, size=80)
+    system.settle_all()
+    assert system.settled_counts() == [1, 1, 1, 1]
+
+
+def test_batching_coalesces_backlog():
+    """At high submission rates the leader packs full batches rather than
+    proposing per payment."""
+    config = BftConfig(num_replicas=4, batch_size=64, batch_delay=0.001)
+    system = build(config=config)
+    for _ in range(256):
+        system.submit("a", "b", 1)
+    system.settle_all()
+    leader = system.replicas[0]
+    assert leader.executed_count == 256
+    # 256 payments in at most ~8 instances (allowing stragglers), not 256.
+    assert leader._last_executed <= 16
+
+
+def test_pipeline_depth_bounds_outstanding():
+    config = BftConfig(num_replicas=4, pipeline_depth=1, batch_size=8)
+    system = build(config=config)
+    for _ in range(64):
+        system.submit("a", "b", 1)
+    assert system.replicas[0]._outstanding <= 1
+    system.settle_all()
+    assert all(count == 64 for count in system.settled_counts())
+
+
+def test_execution_order_is_sequence_order():
+    """Decided-but-gapped instances wait for their predecessors."""
+    system = build()
+    for _ in range(20):
+        system.submit("a", "b", 1)
+    system.settle_all()
+    for replica in system.replicas:
+        assert replica._last_executed == len(replica._decided_batches)
+
+
+def test_view_change_counter():
+    system = build()
+    system.faults.crash(0, at=0.0)
+    system.submit("a", "b", 1)
+    system.settle_all(max_time=30)
+    assert all(replica.view_changes >= 1 for replica in system.replicas[1:])
+
+
+def test_leader_of_rotates():
+    system = build(n=7)
+    replica = system.replicas[0]
+    leaders = [replica.leader_of(view) for view in range(7)]
+    assert leaders == list(range(7))
+    assert replica.leader_of(7) == 0
+
+
+def test_reply_sent_to_registered_clients_only():
+    system = build()
+    client = system.add_client_node("a")
+    client.pay("b", 1)
+    system.settle_all()
+    assert client.confirmed_count == 1
+    # 'b' has no client node: replicas simply skip the reply.
+    system.submit("b", "a", 1)
+    system.settle_all()
+    assert system.settled_counts() == [2, 2, 2, 2]

@@ -1,0 +1,172 @@
+"""System tests for Astro I (Listings 1–4, §IV-A)."""
+
+import pytest
+
+from repro.core.system import Astro1System
+from repro.sim import UniformLatency
+
+
+GENESIS = {"alice": 100, "bob": 50, "carol": 0, "dave": 25}
+
+
+def build(n=4, genesis=None, **kwargs):
+    return Astro1System(num_replicas=n, genesis=genesis or dict(GENESIS), **kwargs)
+
+
+def test_single_payment_settles_everywhere():
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    assert system.settled_counts() == [1, 1, 1, 1]
+    for index in range(4):
+        balances = system.balances_at(index)
+        assert balances["alice"] == 70
+        assert balances["bob"] == 80
+
+
+def test_replicas_converge_to_identical_state():
+    system = build()
+    for _ in range(3):
+        system.submit("alice", "bob", 10)
+        system.submit("bob", "carol", 5)
+    system.settle_all()
+    snapshots = {replica.state.snapshot() for replica in system.replicas}
+    assert len(snapshots) == 1
+
+
+def test_transitive_payment_queues_until_funded():
+    """§IV-A: Astro I queues insufficiently funded payments until credits
+    arrive — carol starts with 0 and spends money she is about to get."""
+    system = build()
+    system.submit("carol", "dave", 40)   # not funded yet: queued
+    system.submit("alice", "carol", 60)  # funds arrive
+    system.settle_all()
+    balances = system.balances_at(0)
+    assert balances["carol"] == 20
+    assert balances["dave"] == 65
+    assert system.settled_counts() == [2, 2, 2, 2]
+
+
+def test_never_funded_payment_stays_queued():
+    system = build()
+    system.submit("carol", "dave", 1000)
+    system.settle_all()
+    assert system.settled_counts() == [0, 0, 0, 0]
+    assert all(replica.queued_payments == 1 for replica in system.replicas)
+    # The balance never goes negative.
+    assert all(b >= 0 for b in system.balances_at(0).values())
+
+
+def test_client_fifo_across_batches():
+    system = build()
+    for index in range(10):
+        system.submit("alice", "bob", 1)
+    system.settle_all()
+    xlog = system.replica(0).state.xlog("alice")
+    assert [p.seq for p in xlog] == list(range(1, 11))
+
+
+def test_total_value_conserved():
+    system = build()
+    for index in range(5):
+        system.submit("alice", "bob", 7)
+        system.submit("bob", "dave", 3)
+    system.settle_all()
+    assert system.total_value() == sum(GENESIS.values())
+
+
+def test_confirmation_hook_fires_at_representative():
+    system = build()
+    confirmations = []
+    system.add_confirm_hook(lambda payment, at: confirmations.append(payment))
+    system.submit("alice", "bob", 5)
+    system.settle_all()
+    assert len(confirmations) == 1
+    assert confirmations[0].spender == "alice"
+
+
+def test_crashed_replica_does_not_block_others():
+    """f=1 of N=4: one crashed replica leaves liveness intact."""
+    system = build()
+    victim = next(
+        replica for replica in system.replicas
+        if system.directory.rep_of("alice") != replica.node_id
+    )
+    system.faults.crash(victim.node_id)
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    settled = [
+        replica.settled_count
+        for replica in system.replicas
+        if replica.node_id != victim.node_id
+    ]
+    assert settled == [1, 1, 1]
+
+
+def test_crashed_representative_stalls_only_its_clients():
+    system = build()
+    rep_alice = system.directory.rep_of("alice")
+    system.faults.crash(rep_alice)
+    system.submit("alice", "bob", 10)  # lost with the representative
+    other = next(c for c in GENESIS if system.directory.rep_of(c) != rep_alice)
+    beneficiary = next(c for c in GENESIS if c != other)
+    system.submit(other, beneficiary, 5)
+    system.settle_all()
+    for replica in system.replicas:
+        if replica.node_id == rep_alice:
+            continue
+        assert replica.settled_count == 1
+        assert replica.state.xlog("alice").last_seq == 0
+
+
+def test_asynchronous_replica_catches_up():
+    system = build(latency=UniformLatency(0.001, 0.02, seed=5))
+    system.faults.delay_egress(3, 0.2)
+    for _ in range(4):
+        system.submit("alice", "bob", 1)
+    system.settle_all()
+    # Bracha's totality: the slow replica still settles everything.
+    assert system.settled_counts() == [4, 4, 4, 4]
+
+
+def test_client_node_round_trip():
+    system = build()
+    latencies = []
+    client = system.add_client_node(
+        "alice", on_confirm=lambda payment, latency: latencies.append(latency)
+    )
+    client.pay("bob", 12)
+    system.settle_all()
+    assert client.confirmed_count == 1
+    assert client.in_flight == 0
+    assert latencies and latencies[0] > 0
+    assert system.balances_at(0)["bob"] == 62
+
+
+def test_rejects_sharded_config():
+    from repro.core.config import AstroConfig
+
+    with pytest.raises(ValueError):
+        Astro1System(
+            num_replicas=4,
+            genesis=GENESIS,
+            config=AstroConfig(num_replicas=4, num_shards=2),
+        )
+
+
+def test_custom_rep_assignment():
+    assignment = {client: 2 for client in GENESIS}
+    system = build(rep_assignment=assignment)
+    for client in GENESIS:
+        assert system.directory.rep_of(client) == 2
+
+
+def test_ingest_rejects_foreign_clients():
+    """A replica only broadcasts for clients it represents (§II)."""
+    system = build()
+    alice_rep = system.directory.rep_of("alice")
+    other = next(r for r in system.replicas if r.node_id != alice_rep)
+    payment = system.make_payment("alice", "bob", 5)
+    other.submit_local(payment)
+    system.settle_all()
+    assert system.settled_counts() == [0, 0, 0, 0]

@@ -1,0 +1,192 @@
+"""System tests for Astro II (Listings 6–10, §IV-A) — single shard."""
+
+import pytest
+
+from repro.core.payment import Payment
+from repro.core.system import Astro2System
+
+GENESIS = {"alice": 100, "bob": 50, "carol": 0, "dave": 25}
+
+
+def build(n=4, genesis=None, **kwargs):
+    return Astro2System(num_replicas=n, genesis=genesis or dict(GENESIS), **kwargs)
+
+
+def test_basic_payment_settles_everywhere():
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    assert system.settled_counts() == [1, 1, 1, 1]
+    for index in range(4):
+        assert system.balances_at(index)["alice"] == 70
+
+
+def test_beneficiary_credited_only_via_dependencies():
+    """Settling never deposits directly (Listing 9): the beneficiary's
+    replicated balance rises only when a dependency materializes."""
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    # Not yet spent by bob: replicated balance unchanged...
+    assert system.balances_at(0)["bob"] == 50
+    # ...but his representative can prove the credit.
+    assert system.representative_of("bob").available_balance("bob") == 80
+    # Bob spends beyond his settled balance, consuming the dependency.
+    system.submit("bob", "carol", 70)
+    system.settle_all()
+    balances = system.balances_at(0)
+    assert balances["bob"] == 10   # 50 + 30 - 70
+    assert system.settled_counts() == [2, 2, 2, 2]
+
+
+def test_dependency_not_consumed_twice():
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    system.submit("bob", "carol", 60)
+    system.settle_all()
+    system.submit("bob", "carol", 20)
+    system.settle_all()
+    assert system.total_value() == sum(GENESIS.values())
+    assert system.balances_at(0)["bob"] == 0  # 50 + 30 - 60 - 20
+
+
+def test_representative_holds_underfunded_payment_until_credit():
+    system = build()
+    system.submit("carol", "dave", 40)  # carol has 0: held at her rep
+    rep_carol = system.representative_of("carol")
+    system.settle_all()
+    assert rep_carol.held_payments == 1
+    assert system.settled_counts() == [0, 0, 0, 0]
+    system.submit("alice", "carol", 60)
+    system.settle_all()
+    assert rep_carol.held_payments == 0
+    assert system.settled_counts() == [2, 2, 2, 2]
+    # Astro II never deposits directly: dave's replicated balance is
+    # unchanged, but his representative can prove the incoming 40.
+    assert system.balances_at(0)["dave"] == 25
+    assert system.representative_of("dave").available_balance("dave") == 65
+
+
+def test_held_payments_keep_client_fifo():
+    system = build()
+    system.submit("carol", "dave", 40)   # held (unfunded)
+    system.submit("carol", "bob", 1)     # must NOT overtake the held one
+    system.settle_all()
+    assert system.settled_counts() == [0, 0, 0, 0]
+    system.submit("alice", "carol", 100)
+    system.settle_all()
+    xlog = system.replica(0).state.xlog("carol")
+    assert [p.seq for p in xlog] == [1, 2]
+    assert [p.beneficiary for p in xlog] == ["dave", "bob"]
+
+
+def test_replicas_converge():
+    system = build()
+    for _ in range(4):
+        system.submit("alice", "bob", 5)
+        system.submit("bob", "dave", 2)
+    system.settle_all()
+    snapshots = {replica.state.snapshot() for replica in system.replicas}
+    assert len(snapshots) == 1
+
+
+def test_conservation_with_dependencies_in_flight():
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.submit("bob", "carol", 10)
+    system.settle_all()
+    assert system.total_value() == sum(GENESIS.values())
+
+
+def test_underfunded_broadcast_rejected_deterministically():
+    """A (Byzantine) representative broadcasting an underfunded payment:
+    every correct replica rejects it identically (Listing 9 l.49)."""
+    from repro.brb.batching import Batch
+
+    system = build()
+    rep = system.representative_of("carol")
+    payment = Payment("carol", 1, "dave", 1000)  # carol cannot afford it
+    batch = Batch([payment])
+    rep.brb.broadcast(1, batch, batch.size_bytes)
+    system.settle_all()
+    assert system.settled_counts() == [0, 0, 0, 0]
+    assert all(len(replica.rejected) == 1 for replica in system.replicas)
+
+
+def test_equivocating_representative_cannot_double_spend():
+    from repro.brb.batching import Batch
+
+    system = build(genesis={"mallory": 100, "bob": 0, "carol": 0, "x": 0})
+    rep = system.representative_of("mallory")
+    a = Batch([Payment("mallory", 1, "bob", 100)])
+    b = Batch([Payment("mallory", 1, "carol", 100)])
+    rep.brb.broadcast(1, a, a.size_bytes)
+    rep.brb.broadcast(2, b, b.size_bytes)
+    system.settle_all()
+    # At most one conflicting payment settles, identically everywhere.
+    beneficiaries = {
+        tuple(p.beneficiary for p in replica.state.xlog("mallory"))
+        for replica in system.replicas
+    }
+    assert len(beneficiaries) == 1
+    settled = beneficiaries.pop()
+    assert len(settled) <= 1
+
+
+def test_confirmations_at_spender_representative():
+    system = build()
+    seen = []
+    system.add_confirm_hook(lambda payment, at: seen.append(payment.identifier))
+    system.submit("alice", "bob", 5)
+    system.submit("bob", "carol", 5)
+    system.settle_all()
+    assert sorted(seen) == [("alice", 1), ("bob", 1)]
+
+
+def test_client_node_round_trip():
+    system = build()
+    latencies = []
+    client = system.add_client_node(
+        "alice", on_confirm=lambda payment, latency: latencies.append(latency)
+    )
+    client.pay("bob", 10)
+    system.settle_all()
+    assert client.confirmed_count == 1
+    assert latencies[0] > 0
+
+
+def test_crash_of_f_replicas_preserves_liveness():
+    system = build(n=7, genesis=dict(GENESIS))
+    reps = {system.directory.rep_of(c) for c in GENESIS}
+    victims = [r.node_id for r in system.replicas if r.node_id not in reps][:2]
+    for victim in victims:
+        system.faults.crash(victim)
+    system.submit("alice", "bob", 10)
+    system.settle_all()
+    for replica in system.replicas:
+        if replica.node_id in victims:
+            continue
+        assert replica.settled_count == 1
+
+
+def test_lazy_attachment_skips_deps_when_funded():
+    """With ample settled balance, outgoing payments carry no
+    certificates (wire/verification amortization)."""
+    system = build()
+    system.submit("alice", "bob", 1)
+    system.settle_all()
+    system.submit("bob", "carol", 1)  # bob's genesis 50 covers this
+    system.settle_all()
+    xlog = system.replica(0).state.xlog("bob")
+    assert xlog.entries()[0].deps == ()
+
+
+def test_deps_attached_when_needed():
+    system = build()
+    system.submit("alice", "bob", 30)
+    system.settle_all()
+    system.submit("bob", "carol", 75)  # needs the credit from alice
+    system.settle_all()
+    xlog = system.replica(0).state.xlog("bob")
+    assert len(xlog.entries()[0].deps) == 1

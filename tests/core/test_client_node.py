@@ -1,0 +1,64 @@
+"""Unit tests for the client node (Listing 1)."""
+
+import pytest
+
+from repro.core.system import Astro1System, Astro2System
+
+GENESIS = {"alice": 1000, "bob": 1000}
+
+
+@pytest.mark.parametrize("system_cls", [Astro1System, Astro2System])
+def test_sequence_numbers_increment(system_cls):
+    system = system_cls(num_replicas=4, genesis=dict(GENESIS), seed=1)
+    client = system.add_client_node("alice")
+    first = client.pay("bob", 1)
+    second = client.pay("bob", 2)
+    assert (first.seq, second.seq) == (1, 2)
+    assert client.next_seq == 3
+
+
+def test_in_flight_tracking():
+    system = Astro2System(num_replicas=4, genesis=dict(GENESIS), seed=2)
+    client = system.add_client_node("alice")
+    client.pay("bob", 1)
+    assert client.in_flight == 1
+    system.settle_all()
+    assert client.in_flight == 0
+    assert client.confirmed_count == 1
+
+
+def test_confirmation_carries_latency():
+    system = Astro2System(num_replicas=4, genesis=dict(GENESIS), seed=3)
+    observed = []
+    client = system.add_client_node(
+        "alice", on_confirm=lambda payment, latency: observed.append(latency)
+    )
+    client.pay("bob", 1)
+    system.settle_all()
+    assert len(observed) == 1
+    # End-to-end latency: at least one WAN round trip worth of time.
+    assert 0.001 < observed[0] < 5.0
+
+
+def test_multiple_clients_independent_counters():
+    system = Astro1System(num_replicas=4, genesis=dict(GENESIS), seed=4)
+    alice = system.add_client_node("alice")
+    bob = system.add_client_node("bob")
+    alice.pay("bob", 1)
+    bob.pay("alice", 1)
+    bob.pay("alice", 1)
+    system.settle_all()
+    assert alice.confirmed_count == 1
+    assert bob.confirmed_count == 2
+
+
+def test_unexpected_confirmation_ignored():
+    from repro.core.messages import ClientConfirm
+    from repro.core.payment import Payment
+
+    system = Astro2System(num_replicas=4, genesis=dict(GENESIS), seed=5)
+    client = system.add_client_node("alice")
+    stray = ClientConfirm(Payment("alice", 99, "bob", 1), settled_at=0.0)
+    system.network.send(0, client.node_id, stray, size=64)
+    system.settle_all()
+    assert client.confirmed_count == 0

@@ -1,0 +1,182 @@
+"""Unit tests for CREDIT messages and dependency certificates (§IV-A)."""
+
+import pytest
+
+from repro.core.dependencies import (
+    CreditMessage,
+    DependencyCertificate,
+    DependencyCollector,
+    certificate_wire_bytes,
+    credit_content,
+    subbatch_digest_of,
+    verify_certificate,
+)
+from repro.core.directory import Directory
+from repro.core.payment import Payment
+from repro.crypto import Keychain, replica_owner, sign
+
+
+@pytest.fixture
+def setup(keychain):
+    directory = Directory()
+    directory.register_shard(0, (0, 1, 2, 3))
+    directory.register_shard(1, (4, 5, 6, 7))
+    keys = {i: keychain.generate(replica_owner(i)) for i in range(8)}
+    directory.register_client("alice", 0)
+    directory.register_client("bob", 4)
+    return directory, keys
+
+
+def _certificate(keys, payments, shard=0, signers=(0, 1)):
+    digest_value = subbatch_digest_of(payments)
+    content = credit_content(shard, digest_value)
+    signatures = tuple(sign(keys[i], content) for i in signers)
+    return DependencyCertificate(payments[0], shard, tuple(payments), signatures)
+
+
+class TestCreditMessage:
+    def test_create_signs_subbatch(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        message = CreditMessage.create(keys[0], 0, payments)
+        assert message.subbatch_digest == subbatch_digest_of(payments)
+        assert message.size > 100
+
+    def test_explicit_digest_must_match_content(self, setup):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        message = CreditMessage.create(keys[0], 0, payments)
+        assert message.subbatch_digest == subbatch_digest_of(message.payments)
+
+
+class TestCertificateVerification:
+    def test_valid_certificate(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        cert = _certificate(keys, payments)
+        assert verify_certificate(cert, directory, keychain)
+
+    def test_too_few_signers(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        cert = _certificate(keys, payments, signers=(0,))
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_duplicate_signers_do_not_count_twice(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        digest_value = subbatch_digest_of(payments)
+        content = credit_content(0, digest_value)
+        signature = sign(keys[0], content)
+        cert = DependencyCertificate(payments[0], 0, payments, (signature, signature))
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_signer_outside_shard_rejected(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        # Signers 4, 5 belong to shard 1, not the claimed shard 0.
+        cert = _certificate(keys, payments, shard=0, signers=(4, 5))
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_client_signature_rejected(self, setup, keychain):
+        directory, keys = setup
+        client_key = keychain.generate(("client", "mallory"))
+        payments = (Payment("alice", 1, "bob", 10),)
+        digest_value = subbatch_digest_of(payments)
+        content = credit_content(0, digest_value)
+        signatures = (sign(client_key, content), sign(keys[0], content))
+        cert = DependencyCertificate(payments[0], 0, payments, signatures)
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_payment_not_in_subbatch_rejected(self, setup, keychain):
+        directory, keys = setup
+        subbatch = (Payment("alice", 1, "bob", 10),)
+        outsider = Payment("alice", 2, "bob", 999)
+        digest_value = subbatch_digest_of(subbatch)
+        content = credit_content(0, digest_value)
+        signatures = tuple(sign(keys[i], content) for i in (0, 1))
+        cert = DependencyCertificate(outsider, 0, subbatch, signatures)
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_digest_content_mismatch_rejected(self, setup, keychain):
+        directory, keys = setup
+        subbatch = (Payment("alice", 1, "bob", 10),)
+        other = (Payment("alice", 1, "bob", 11),)
+        wrong_digest = subbatch_digest_of(other)
+        content = credit_content(0, wrong_digest)
+        signatures = tuple(sign(keys[i], content) for i in (0, 1))
+        cert = DependencyCertificate(
+            subbatch[0], 0, subbatch, signatures, subbatch_digest=wrong_digest
+        )
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_unknown_shard_rejected(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        digest_value = subbatch_digest_of(payments)
+        content = credit_content(9, digest_value)
+        signatures = tuple(sign(keys[i], content) for i in (0, 1))
+        cert = DependencyCertificate(payments[0], 9, payments, signatures)
+        assert not verify_certificate(cert, directory, keychain)
+
+    def test_wire_bytes(self):
+        assert certificate_wire_bytes(1) == 40 + 2 * 72
+
+
+class TestDependencyCollector:
+    def test_f_plus_one_credits_mint_certificates(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        first = collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+        assert first == []
+        second = collector.add_credit(1, CreditMessage.create(keys[1], 0, payments))
+        assert len(second) == 1
+        cert = second[0]
+        assert cert.beneficiary == "bob"
+        assert cert.amount == 10
+        assert verify_certificate(cert, directory, keychain)
+
+    def test_additional_credits_do_not_remint(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+        collector.add_credit(1, CreditMessage.create(keys[1], 0, payments))
+        third = collector.add_credit(2, CreditMessage.create(keys[2], 0, payments))
+        assert third == []
+
+    def test_duplicate_sender_does_not_advance(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        message = CreditMessage.create(keys[0], 0, payments)
+        assert collector.add_credit(0, message) == []
+        assert collector.add_credit(0, message) == []
+
+    def test_invalid_signature_ignored(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        # Replica 1 relays a message signed by replica 0: signer mismatch.
+        message = CreditMessage.create(keys[0], 0, payments)
+        assert collector.add_credit(1, message) == []
+
+    def test_sender_outside_shard_ignored(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        message = CreditMessage.create(keys[4], 0, payments)
+        assert collector.add_credit(4, message) == []
+
+    def test_only_my_clients_get_certificates(self, setup, keychain):
+        directory, keys = setup
+        directory.register_client("carol", 5)  # another rep in shard 1
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (
+            Payment("alice", 1, "bob", 10),
+            Payment("alice", 2, "carol", 7),
+        )
+        collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+        minted = collector.add_credit(1, CreditMessage.create(keys[1], 0, payments))
+        assert [cert.beneficiary for cert in minted] == ["bob"]

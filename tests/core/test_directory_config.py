@@ -1,0 +1,98 @@
+"""Unit tests for Directory and AstroConfig."""
+
+import pytest
+
+from repro.core.config import AstroConfig
+from repro.core.directory import Directory
+
+
+class TestDirectory:
+    def test_shard_registration_and_lookup(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1, 2, 3))
+        directory.register_shard(1, (4, 5, 6, 7))
+        assert directory.members(0) == (0, 1, 2, 3)
+        assert directory.shard_of_replica(5) == 1
+        assert directory.shard_ids == [0, 1]
+        assert directory.faulty_bound(0) == 1
+
+    def test_duplicate_shard_rejected(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1))
+        with pytest.raises(ValueError):
+            directory.register_shard(0, (2, 3))
+
+    def test_replica_in_two_shards_rejected(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1))
+        with pytest.raises(ValueError):
+            directory.register_shard(1, (1, 2))
+
+    def test_empty_shard_rejected(self):
+        directory = Directory()
+        with pytest.raises(ValueError):
+            directory.register_shard(0, ())
+
+    def test_client_registration(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1, 2, 3))
+        directory.register_client("alice", 2)
+        assert directory.rep_of("alice") == 2
+        assert directory.shard_of_client("alice") == 0
+        assert directory.knows_client("alice")
+        assert not directory.knows_client("bob")
+        assert directory.clients == ["alice"]
+
+    def test_client_needs_valid_representative(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1))
+        with pytest.raises(ValueError):
+            directory.register_client("alice", 99)
+
+    def test_clients_of_shard(self):
+        directory = Directory()
+        directory.register_shard(0, (0, 1))
+        directory.register_shard(1, (2, 3))
+        directory.register_client("a", 0)
+        directory.register_client("b", 2)
+        assert directory.clients_of_shard(0) == ["a"]
+        assert directory.clients_of_shard(1) == ["b"]
+
+
+class TestAstroConfig:
+    def test_defaults_derive_f(self):
+        config = AstroConfig(num_replicas=10)
+        assert config.f == 3
+        assert config.quorum == 7
+
+    def test_paper_batch_size_default(self):
+        assert AstroConfig().batch_size == 256
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            AstroConfig(num_replicas=3, f=1)
+        with pytest.raises(ValueError):
+            AstroConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            AstroConfig(batch_size=0)
+
+    def test_explicit_f_respected(self):
+        config = AstroConfig(num_replicas=10, f=2)
+        assert config.f == 2
+        assert config.quorum == 5
+
+
+class TestBftConfig:
+    def test_defaults(self):
+        from repro.consensus.config import BftConfig
+
+        config = BftConfig(num_replicas=7)
+        assert config.f == 2
+        assert config.quorum == 5
+        assert config.pipeline_depth >= 1
+
+    def test_invalid_pipeline(self):
+        from repro.consensus.config import BftConfig
+
+        with pytest.raises(ValueError):
+            BftConfig(num_replicas=4, pipeline_depth=0)

@@ -1,0 +1,152 @@
+"""Unit tests for the simulated cryptography substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    CryptoError,
+    Keychain,
+    MacAuthenticator,
+    Signature,
+    canonical,
+    client_owner,
+    digest,
+    replica_owner,
+    sign,
+    verify,
+)
+
+
+class TestCanonical:
+    def test_primitives_pass_through(self):
+        for value in (None, True, 42, 3.14, "s", b"b"):
+            assert canonical(value) == value
+
+    def test_lists_and_tuples_normalize(self):
+        assert canonical([1, 2]) == canonical((1, 2))
+
+    def test_dict_order_independent(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_nested_structures(self):
+        value = {"k": [1, (2, 3)], "s": {4, 5}}
+        assert canonical(value) == canonical(value)
+
+    def test_object_with_canonical_method(self):
+        class Thing:
+            def canonical(self):
+                return ("thing", 7)
+
+        assert canonical(Thing()) == ("obj", "Thing", ("thing", 7))
+
+    def test_uncanonicalizable_raises(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestDigest:
+    def test_equal_content_equal_digest(self):
+        assert digest(("pay", 1, "bob")) == digest(("pay", 1, "bob"))
+
+    def test_different_content_different_digest(self):
+        assert digest(("pay", 1)) != digest(("pay", 2))
+
+    @given(st.tuples(st.integers(), st.text(), st.booleans()))
+    def test_digest_deterministic(self, value):
+        assert digest(value) == digest(value)
+
+
+class TestSignatures:
+    def test_sign_verify_round_trip(self, keychain):
+        key = keychain.generate("alice")
+        signature = sign(key, ("transfer", 5))
+        assert verify(keychain, signature, ("transfer", 5))
+
+    def test_tampered_content_fails(self, keychain):
+        key = keychain.generate("alice")
+        signature = sign(key, ("transfer", 5))
+        assert not verify(keychain, signature, ("transfer", 6))
+
+    def test_forged_token_fails(self, keychain):
+        keychain.generate("alice")
+        forged = Signature("alice", 0xDEADBEEF)
+        assert not verify(keychain, forged, ("anything",))
+
+    def test_signature_binds_signer(self, keychain):
+        alice = keychain.generate("alice")
+        keychain.generate("bob")
+        signature = sign(alice, "msg")
+        relabeled = Signature("bob", signature._token)
+        assert not verify(keychain, relabeled, "msg")
+
+    def test_unknown_signer_raises(self, keychain):
+        with pytest.raises(CryptoError):
+            verify(keychain, Signature("ghost", 1), "msg")
+
+    def test_non_signature_rejected(self, keychain):
+        assert not verify(keychain, "not-a-signature", "msg")
+
+    def test_duplicate_key_generation_rejected(self, keychain):
+        keychain.generate("alice")
+        with pytest.raises(CryptoError):
+            keychain.generate("alice")
+
+    def test_signature_equality_and_hash(self, keychain):
+        key = keychain.generate("alice")
+        a = sign(key, "m")
+        b = sign(key, "m")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_keychain_determinism(self):
+        first = Keychain(seed=9)
+        second = Keychain(seed=9)
+        sig_a = sign(first.generate("x"), "m")
+        sig_b = sign(second.generate("x"), "m")
+        assert sig_a == sig_b
+
+    @given(st.text(min_size=1), st.text(min_size=1))
+    def test_distinct_messages_distinct_signatures(self, m1, m2):
+        keychain = Keychain(seed=5)
+        key = keychain.generate("signer")
+        if m1 != m2:
+            assert sign(key, m1) != sign(key, m2)
+
+
+class TestMac:
+    def test_tag_round_trip(self, keychain):
+        keychain.generate("a")
+        keychain.generate("b")
+        auth = MacAuthenticator(keychain)
+        tag = auth.tag("a", "b", "payload")
+        assert auth.verify(tag, "a", "b", "payload")
+
+    def test_tampered_payload_fails(self, keychain):
+        keychain.generate("a")
+        keychain.generate("b")
+        auth = MacAuthenticator(keychain)
+        tag = auth.tag("a", "b", "payload")
+        assert not auth.verify(tag, "a", "b", "other")
+
+    def test_wrong_pair_fails(self, keychain):
+        for owner in ("a", "b", "c"):
+            keychain.generate(owner)
+        auth = MacAuthenticator(keychain)
+        tag = auth.tag("a", "b", "payload")
+        assert not auth.verify(tag, "a", "c", "payload")
+
+    def test_either_endpoint_can_tag(self, keychain):
+        keychain.generate("a")
+        keychain.generate("b")
+        auth = MacAuthenticator(keychain)
+        tag_ab = auth.tag("a", "b", "m")
+        tag_ba = auth.tag("b", "a", "m")
+        assert auth.verify(tag_ab, "a", "b", "m")
+        assert auth.verify(tag_ba, "b", "a", "m")
+
+
+class TestOwnerNaming:
+    def test_replica_and_client_owners_distinct(self):
+        assert replica_owner(1) != client_owner(1)
+        assert replica_owner(1) == ("replica", 1)
+        assert client_owner("alice") == ("client", "alice")

@@ -1,0 +1,100 @@
+"""Cross-system parity: the same workload ends in the same economic state.
+
+Astro I, Astro II, and the consensus baseline implement the same payment
+semantics over different replication layers; applying one funded workload
+to each must yield identical *effective* balances (settled + provable
+credits) — the end-user-visible outcome the paper holds constant while
+comparing the layers underneath.
+"""
+
+import pytest
+
+from repro.consensus.system import BftSystem
+from repro.core.system import Astro1System, Astro2System
+
+GENESIS = {"a": 500, "b": 300, "c": 100, "d": 0}
+
+WORKLOAD = [
+    ("a", "b", 50),
+    ("b", "c", 120),
+    ("c", "d", 60),
+    ("a", "d", 25),
+    ("d", "a", 10),
+    ("b", "a", 5),
+]
+
+
+def effective_balances_astro1(system):
+    return {c: system.replica(0).balance_of(c) for c in GENESIS}
+
+
+def effective_balances_astro2(system):
+    return {
+        c: system.representative_of(c).available_balance(c) for c in GENESIS
+    }
+
+
+def effective_balances_bft(system):
+    return {c: system.replicas[0].state.balance(c) for c in GENESIS}
+
+
+def drive(system):
+    for spender, beneficiary, amount in WORKLOAD:
+        system.submit(spender, beneficiary, amount)
+        system.settle_all() if isinstance(system, BftSystem) else None
+    if isinstance(system, BftSystem):
+        system.settle_all(max_time=30)
+    else:
+        system.settle_all()
+
+
+def expected_balances():
+    balances = dict(GENESIS)
+    for spender, beneficiary, amount in WORKLOAD:
+        balances[spender] -= amount
+        balances[beneficiary] += amount
+    return balances
+
+
+def test_astro1_matches_sequential_semantics():
+    system = Astro1System(num_replicas=4, genesis=dict(GENESIS), seed=1)
+    drive(system)
+    assert effective_balances_astro1(system) == expected_balances()
+
+
+def test_astro2_matches_sequential_semantics():
+    system = Astro2System(num_replicas=4, genesis=dict(GENESIS), seed=1)
+    drive(system)
+    assert effective_balances_astro2(system) == expected_balances()
+
+
+def test_bft_matches_sequential_semantics():
+    system = BftSystem(num_replicas=4, genesis=dict(GENESIS), seed=1)
+    drive(system)
+    assert effective_balances_bft(system) == expected_balances()
+
+
+def test_sharded_astro2_matches_sequential_semantics():
+    system = Astro2System(
+        num_replicas=4, num_shards=2, genesis=dict(GENESIS), seed=1
+    )
+    drive(system)
+    assert effective_balances_astro2(system) == expected_balances()
+
+
+def test_all_three_systems_agree_with_each_other():
+    results = []
+    for build in (
+        lambda: Astro1System(num_replicas=4, genesis=dict(GENESIS), seed=2),
+        lambda: Astro2System(num_replicas=4, genesis=dict(GENESIS), seed=2),
+        lambda: BftSystem(num_replicas=4, genesis=dict(GENESIS), seed=2),
+    ):
+        system = build()
+        drive(system)
+        if isinstance(system, Astro2System):
+            results.append(effective_balances_astro2(system))
+        elif isinstance(system, Astro1System):
+            results.append(effective_balances_astro1(system))
+        else:
+            results.append(effective_balances_bft(system))
+    assert results[0] == results[1] == results[2]

@@ -1,0 +1,138 @@
+"""Tests for consensusless reconfiguration (Appendix A)."""
+
+import pytest
+
+from repro.crypto import Keychain, replica_owner
+from repro.reconfig.membership import ReconfigReplica
+from repro.reconfig.views import View
+from repro.sim import ConstantLatency, Network, Simulator, europe_wan
+
+
+def build(initial_members=4, total=8, state_bytes=10_000, latency=None):
+    sim = Simulator()
+    network = Network(sim, latency=latency or ConstantLatency(0.005))
+    keychain = Keychain(seed=77)
+    initial = View(0, range(initial_members))
+    replicas = {}
+    for node_id in range(total):
+        key = keychain.generate(replica_owner(node_id))
+        replicas[node_id] = ReconfigReplica(
+            sim, node_id, network, initial, keychain, key,
+            state_bytes=state_bytes,
+        )
+    return sim, network, replicas
+
+
+class TestViews:
+    def test_with_and_without_member(self):
+        view = View(0, range(4))
+        bigger = view.with_member(4)
+        assert bigger.number == 1
+        assert bigger.members == frozenset(range(5))
+        smaller = bigger.without_member(0)
+        assert smaller.members == frozenset({1, 2, 3, 4})
+
+    def test_quorum_arithmetic(self):
+        view = View(0, range(4))
+        assert view.f == 1
+        assert view.quorum == 3
+
+    def test_invalid_changes(self):
+        view = View(0, range(4))
+        with pytest.raises(ValueError):
+            view.with_member(0)
+        with pytest.raises(ValueError):
+            view.without_member(99)
+        with pytest.raises(ValueError):
+            View(0, [])
+
+    def test_equality_and_hash(self):
+        assert View(1, [0, 1]) == View(1, [1, 0])
+        assert hash(View(1, [0, 1])) == hash(View(1, [1, 0]))
+
+
+class TestJoin:
+    def test_join_installs_successor_view_everywhere(self):
+        sim, network, replicas = build()
+        replicas[4].request_join()
+        sim.run_until_idle()
+        for node_id in range(5):
+            assert replicas[node_id].view.number == 1
+            assert replicas[node_id].view.members == frozenset(range(5))
+        assert replicas[4].active
+        assert replicas[4].join_latency is not None
+
+    def test_sequential_joins_form_view_sequence(self):
+        sim, network, replicas = build()
+        current = replicas[0].view
+        for joiner_id in (4, 5, 6):
+            joiner = replicas[joiner_id]
+            joiner.view = current
+            joiner.request_join()
+            sim.run_until_idle()
+            current = joiner.view
+        assert current.number == 3
+        for node_id in range(7):
+            history = [v.number for v in replicas[node_id].installed_history]
+            assert history == sorted(history)
+
+    def test_join_latency_includes_state_transfer(self):
+        _, _, small = build(state_bytes=1_000)
+        _, _, large = build(state_bytes=20_000_000)
+        for replicas in (small, large):
+            replicas[4].request_join()
+            replicas[4].sim.run_until_idle()
+        assert large[4].join_latency > small[4].join_latency
+
+    def test_join_tolerates_f_crashed_members(self):
+        sim, network, replicas = build()
+        network.crash(3)  # f=1 of the 4 members
+        replicas[4].request_join()
+        sim.run_until_idle()
+        assert replicas[4].active
+        for node_id in range(3):
+            assert replicas[node_id].view.number == 1
+
+    def test_double_join_rejected_locally(self):
+        sim, network, replicas = build()
+        with pytest.raises(RuntimeError):
+            replicas[0].request_join()  # already a member
+
+
+class TestLeave:
+    def test_leave_removes_member(self):
+        sim, network, replicas = build()
+        replicas[3].request_leave()
+        sim.run_until_idle()
+        for node_id in range(3):
+            assert replicas[node_id].view.members == frozenset({0, 1, 2})
+        assert not replicas[3].active
+
+    def test_leave_requires_membership(self):
+        sim, network, replicas = build()
+        with pytest.raises(RuntimeError):
+            replicas[7].request_leave()
+
+    def test_join_then_leave_round_trip(self):
+        sim, network, replicas = build()
+        replicas[4].request_join()
+        sim.run_until_idle()
+        joined_view = replicas[4].view
+        replicas[4].request_leave()
+        sim.run_until_idle()
+        for node_id in range(4):
+            assert replicas[node_id].view.number == joined_view.number + 1
+            assert 4 not in replicas[node_id].view.members
+
+
+class TestPauseResume:
+    def test_processing_pauses_during_reconfig(self):
+        sim, network, replicas = build(latency=ConstantLatency(0.02))
+        paused = []
+        resumed = []
+        replicas[0].on_pause = lambda: paused.append(sim.now)
+        replicas[0].on_resume = lambda view: resumed.append(view.number)
+        replicas[4].request_join()
+        sim.run_until_idle()
+        assert paused, "member never paused during view agreement"
+        assert resumed and resumed[-1] == 1

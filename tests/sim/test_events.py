@@ -1,0 +1,139 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.events import SimulationError, Simulator
+
+
+def test_schedule_and_run_in_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(1.5, order.append, "middle")
+    sim.run_until_idle()
+    assert order == ["early", "middle", "late"]
+    assert sim.now == 2.0
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    order = []
+    for label in ("a", "b", "c"):
+        sim.schedule(1.0, order.append, label)
+    sim.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_bound_advances_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, True)
+    executed = sim.run(until=3.0)
+    assert executed == 0
+    assert fired == []
+    assert sim.now == 3.0
+    sim.run(until=6.0)
+    assert fired == [True]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run_until_idle()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.5, order.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.run_until_idle()
+    assert order == ["first", "nested"]
+    assert sim.now == 1.5
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_max_events_limit():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.0, loop)
+    executed = sim.run(max_events=10)
+    assert executed == 10
+
+
+def test_run_until_idle_raises_on_runaway():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0.0, reenter)
+    sim.run_until_idle()
+    assert len(errors) == 1
+
+
+def test_determinism_same_schedule_same_history():
+    def run_once():
+        sim = Simulator()
+        seen = []
+        for index in range(50):
+            sim.schedule(0.1 * (index % 7), seen.append, index)
+        sim.run_until_idle()
+        return seen
+
+    assert run_once() == run_once()
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(0.1, lambda: None)
+    sim.run_until_idle()
+    assert sim.events_executed == 5

@@ -1,0 +1,81 @@
+"""Unit tests for fault injection."""
+
+from repro.sim.events import Simulator
+from repro.sim.faults import FaultInjector
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+def build(n=4):
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.01))
+    nodes = [Node(sim, i, network) for i in range(n)]
+    faults = FaultInjector(sim, network)
+    return sim, network, nodes, faults
+
+
+def test_crash_scheduled_at_time():
+    sim, network, nodes, faults = build()
+    faults.crash(2, at=1.0)
+    sim.run(until=0.5)
+    assert not network.is_crashed(2)
+    sim.run(until=1.5)
+    assert network.is_crashed(2)
+    assert faults.log == [(1.0, "crash", 2)]
+
+
+def test_crash_in_past_fires_now():
+    sim, network, nodes, faults = build()
+    sim.schedule(2.0, lambda: None)
+    sim.run_until_idle()
+    faults.crash(1, at=0.0)
+    sim.run_until_idle()
+    assert network.is_crashed(1)
+
+
+def test_delay_egress_applies_at_time():
+    sim, network, nodes, faults = build()
+    received = []
+    nodes[1].on(str, lambda src, msg: received.append(sim.now))
+    faults.delay_egress(0, 0.2, at=1.0)
+    nodes[0].send(1, "fast")
+    sim.run(until=1.0)
+    nodes[0].send(1, "slow")
+    sim.run_until_idle()
+    assert received[0] < 0.1
+    assert received[1] >= 1.2
+
+
+def test_delay_all():
+    sim, network, nodes, faults = build()
+    faults.delay_all([0, 1, 2], 0.05, at=0.0)
+    sim.run_until_idle()
+    assert network._egress_delay == {0: 0.05, 1: 0.05, 2: 0.05}
+
+
+def test_partition_and_heal():
+    sim, network, nodes, faults = build()
+    received = []
+    nodes[2].on(str, lambda src, msg: received.append(msg))
+    faults.partition([0, 1], [2, 3], at=0.0)
+    sim.run(until=0.1)
+    nodes[0].send(2, "lost")
+    sim.run(until=0.5)
+    assert received == []
+    faults.heal(at=0.6)
+    sim.run(until=0.7)
+    nodes[0].send(2, "found")
+    sim.run_until_idle()
+    assert received == ["found"]
+
+
+def test_fault_log_records_all_kinds():
+    sim, network, nodes, faults = build()
+    faults.crash(0, at=0.1)
+    faults.delay_egress(1, 0.05, at=0.2)
+    faults.partition([0], [1], at=0.3)
+    faults.heal(at=0.4)
+    sim.run_until_idle()
+    kinds = [entry[1] for entry in faults.log]
+    assert kinds == ["crash", "delay", "partition", "heal"]

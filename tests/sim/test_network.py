@@ -1,0 +1,168 @@
+"""Unit tests for the simulated network: delivery, faults, partitions."""
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+def build(n=3, delay=0.01):
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(delay))
+    nodes = [Node(sim, i, network) for i in range(n)]
+    return sim, network, nodes
+
+
+def test_basic_delivery_with_latency():
+    sim, network, nodes = build(delay=0.02)
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append((src, msg, sim.now)))
+    nodes[0].send(1, "hello", size=100)
+    sim.run_until_idle()
+    assert len(got) == 1
+    src, msg, at = got[0]
+    assert (src, msg) == (0, "hello")
+    assert at >= 0.02  # latency + serialization + CPU service
+
+
+def test_loopback_skips_latency():
+    sim, network, nodes = build(delay=0.5)
+    got = []
+    nodes[0].on(str, lambda src, msg: got.append(sim.now))
+    nodes[0].send(0, "self", size=100)
+    sim.run_until_idle()
+    assert got and got[0] < 0.01
+
+
+def test_crashed_source_sends_nothing():
+    sim, network, nodes = build()
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append(msg))
+    network.crash(0)
+    nodes[0].send(1, "x")
+    sim.run_until_idle()
+    assert got == []
+
+
+def test_crash_at_delivery_time_drops_message():
+    sim, network, nodes = build(delay=0.1)
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append(msg))
+    nodes[0].send(1, "x")
+    sim.schedule(0.01, network.crash, 1)
+    sim.run_until_idle()
+    assert got == []
+    assert network.stats.messages_dropped == 1
+
+
+def test_recover_allows_future_delivery():
+    sim, network, nodes = build()
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append(msg))
+    network.crash(1)
+    network.recover(1)
+    nodes[0].send(1, "x")
+    sim.run_until_idle()
+    assert got == ["x"]
+
+
+def test_egress_delay_injection():
+    sim, network, nodes = build(delay=0.01)
+    times = []
+    nodes[1].on(str, lambda src, msg: times.append(sim.now))
+    nodes[0].send(1, "before")
+    sim.run_until_idle()
+    network.set_egress_delay(0, 0.1)
+    nodes[0].send(1, "after")
+    sim.run_until_idle()
+    assert times[1] - times[0] >= 0.1
+
+
+def test_egress_delay_cleared_with_nonpositive():
+    sim, network, nodes = build()
+    network.set_egress_delay(0, 0.1)
+    network.set_egress_delay(0, 0.0)
+    times = []
+    nodes[1].on(str, lambda src, msg: times.append(sim.now))
+    nodes[0].send(1, "x")
+    sim.run_until_idle()
+    assert times[0] < 0.1
+
+
+def test_partition_blocks_directionally():
+    sim, network, nodes = build()
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append(msg))
+    nodes[0].on(str, lambda src, msg: got.append(msg))
+    network.block(0, 1)
+    nodes[0].send(1, "lost")
+    nodes[1].send(0, "through")
+    sim.run_until_idle()
+    assert got == ["through"]
+
+
+def test_heal_restores_connectivity():
+    sim, network, nodes = build()
+    got = []
+    nodes[1].on(str, lambda src, msg: got.append(msg))
+    network.block(0, 1)
+    network.heal()
+    nodes[0].send(1, "x")
+    sim.run_until_idle()
+    assert got == ["x"]
+
+
+def test_duplicate_node_id_rejected():
+    sim, network, nodes = build()
+    with pytest.raises(ValueError):
+        Node(sim, 0, network)
+
+
+def test_unknown_source_raises():
+    sim, network, nodes = build()
+    with pytest.raises(ValueError):
+        network.send(99, 0, "x")
+
+
+def test_unknown_destination_dropped_silently():
+    sim, network, nodes = build()
+    nodes[0].send(99, "x")
+    sim.run_until_idle()
+    assert network.stats.messages_dropped == 1
+
+
+def test_stats_counters():
+    sim, network, nodes = build()
+    nodes[1].on(str, lambda src, msg: None)
+    nodes[0].send(1, "x", size=123)
+    sim.run_until_idle()
+    assert network.stats.messages_sent == 1
+    assert network.stats.messages_delivered == 1
+    assert network.stats.bytes_sent == 123
+
+
+def test_kind_tracking():
+    sim = Simulator()
+    network = Network(sim, latency=ConstantLatency(0.01), track_kinds=True)
+    nodes = [Node(sim, i, network) for i in range(2)]
+    nodes[0].send(1, "x")
+    nodes[0].send(1, 42)
+    sim.run_until_idle()
+    assert network.stats.by_kind == {"str": 1, "int": 1}
+
+
+def test_unknown_message_type_ignored():
+    sim, network, nodes = build()
+    nodes[0].send(1, object())
+    sim.run_until_idle()  # must not raise
+
+
+def test_timer_suppressed_after_crash():
+    sim, network, nodes = build()
+    fired = []
+    nodes[0].set_timer(1.0, fired.append, True)
+    network.crash(0)
+    sim.run_until_idle()
+    assert fired == []
