@@ -1,0 +1,125 @@
+"""Perf regression guard: simulated payments per wall-clock second.
+
+Runs the standard Astro II measurement scenario (see
+``repro.bench.profile``) and compares the achieved
+simulated-payments-per-wall-clock-second against the recorded **seed
+baseline** — the unoptimized engine this repository started from.
+
+Cross-machine comparability: the seed baseline was measured on one
+machine, CI runs on another, so the baseline is rescaled by a small
+pure-Python calibration kernel (interpreter-bound, like the simulator
+itself) timed on both machines.  The asserted floor is deliberately set
+below the locally measured speedup to absorb CI timer noise; the exact
+multiple achieved is printed and written to ``BENCH_perf.json``.
+
+Override knobs (environment):
+
+* ``REPRO_PERF_MIN_SPEEDUP`` — assertion floor (default 1.6).
+* ``REPRO_PERF_JSON`` — output path (default ``BENCH_perf.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.bench.profile import (
+    DEFAULT_DURATION,
+    DEFAULT_NUM_REPLICAS,
+    DEFAULT_RATE,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP,
+    standard_run,
+)
+
+# ---------------------------------------------------------------------------
+# Recorded on the seed machine (same host that measured SEED_BASELINE_PPS).
+# ---------------------------------------------------------------------------
+
+#: Best-of-3 simulated-payments/wall-clock-second of the *seed* engine on
+#: the standard scenario (astro2, N=4, 16k pay/s offered, 2.0s window).
+SEED_BASELINE_PPS = 37_066.0
+
+#: Seconds the calibration kernel took on the machine that measured the
+#: seed baseline (best of 5).
+SEED_CALIBRATION_SECONDS = 0.0589
+
+TRIALS = 3
+
+
+def _calibration_seconds() -> float:
+    """Time a deterministic interpreter-bound kernel (best of 5).
+
+    Dict stores, tuple hashing, and branchy integer arithmetic — the same
+    operation mix that dominates the simulator — so the ratio against
+    :data:`SEED_CALIBRATION_SECONDS` tracks how fast *this* machine runs
+    the engine, largely independent of absolute CPU speed.
+    """
+    best = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        acc = 0
+        d = {}
+        for i in range(200_000):
+            d[i & 1023] = i
+            acc += hash((i, "cal"))
+            if acc & 7:
+                acc ^= d[i & 1023]
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_regression(scale):
+    calibration = _calibration_seconds()
+    machine_factor = SEED_CALIBRATION_SECONDS / calibration
+    expected_seed_pps = SEED_BASELINE_PPS * machine_factor
+
+    best_pps = 0.0
+    best_result = None
+    for _ in range(TRIALS):
+        result, wall = standard_run()
+        pps = result.confirmed / wall
+        if best_result is None or pps > best_pps:
+            best_pps, best_result = pps, result
+    speedup = best_pps / expected_seed_pps
+
+    report = {
+        "scenario": {
+            "system": "astro2",
+            "num_replicas": DEFAULT_NUM_REPLICAS,
+            "rate": DEFAULT_RATE,
+            "duration": DEFAULT_DURATION,
+            "warmup": DEFAULT_WARMUP,
+            "seed": DEFAULT_SEED,
+            "trials": TRIALS,
+        },
+        "payments_per_wall_second": round(best_pps),
+        "confirmed_per_trial": best_result.confirmed,
+        "seed_baseline_pps": SEED_BASELINE_PPS,
+        "calibration_seconds": calibration,
+        "seed_calibration_seconds": SEED_CALIBRATION_SECONDS,
+        "machine_factor": machine_factor,
+        "speedup_vs_seed": round(speedup, 3),
+        "bench_scale": scale.name,
+    }
+    path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print()
+    print(
+        f"[perf] {best_pps:,.0f} simulated payments / wall-clock second "
+        f"({speedup:.2f}x the seed engine, machine-calibrated; "
+        f"report: {path})"
+    )
+
+    min_speedup = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "1.6"))
+    assert speedup >= min_speedup, (
+        f"simulator perf regressed: {best_pps:,.0f} pay/wall-sec is only "
+        f"{speedup:.2f}x the calibrated seed baseline "
+        f"({expected_seed_pps:,.0f}); floor is {min_speedup}x"
+    )
+    # The engine must also beat the seed on this machine in absolute terms.
+    assert best_pps > expected_seed_pps

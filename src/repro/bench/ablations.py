@@ -66,6 +66,9 @@ def run_batching_ablation(
             warmup=scale.peak_warmup,
             refine_steps=2,
             seed=seed,
+            payment_budget=scale.peak_payment_budget,
+            max_probes=scale.peak_probe_cap,
+            reuse_state=scale.peak_reuse_state,
         )
         peaks.append(result.peak_pps)
     return BatchingAblation(size=size, batch_sizes=list(batch_sizes), peaks=peaks)

@@ -78,6 +78,9 @@ def run_fig3(
                 warmup=scale.peak_warmup,
                 refine_steps=2,
                 seed=seed,
+                payment_budget=scale.peak_payment_budget,
+                max_probes=scale.peak_probe_cap,
+                reuse_state=scale.peak_reuse_state,
             )
             peaks[name].append(result.peak_pps)
     return Fig3Result(sizes=sizes, peaks=peaks)

@@ -1,0 +1,116 @@
+"""cProfile entry point over a standard Astro II run.
+
+The simulator's speed *is* reproduction capacity: every figure in the
+paper comes out of the same schedule-deliver-execute cycle this profile
+exercises.  Run it before and after touching any hot-path module::
+
+    PYTHONPATH=src python -m repro.bench.profile
+    PYTHONPATH=src python -m repro.bench.profile --rate 32000 --sort cumulative
+    PYTHONPATH=src python -m repro.bench.profile --system astro1 -n 10
+
+Prints the achieved simulated-payments-per-wall-clock-second (the metric
+``benchmarks/test_perf_regression.py`` guards) followed by the profile
+table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+from typing import Any
+
+from .runner import RunResult, run_open_loop
+from .systems import SYSTEM_BUILDERS
+
+__all__ = ["standard_run", "main"]
+
+#: Defaults of the "standard Astro II run": N = 3f+1 = 4, EU WAN latency,
+#: offered load high enough to keep every replica's settle pipeline busy
+#: without saturating the simulated system.
+DEFAULT_SYSTEM = "astro2"
+DEFAULT_NUM_REPLICAS = 4
+DEFAULT_RATE = 16_000.0
+DEFAULT_DURATION = 2.0
+DEFAULT_WARMUP = 0.5
+DEFAULT_SEED = 2
+
+
+def standard_run(
+    system_name: str = DEFAULT_SYSTEM,
+    num_replicas: int = DEFAULT_NUM_REPLICAS,
+    rate: float = DEFAULT_RATE,
+    duration: float = DEFAULT_DURATION,
+    warmup: float = DEFAULT_WARMUP,
+    seed: int = DEFAULT_SEED,
+) -> tuple:
+    """Build and drive one standard measurement run.
+
+    Returns ``(result, wall_seconds)`` where ``result`` is the
+    :class:`~repro.bench.runner.RunResult` of the open-loop window.
+    """
+    builder = SYSTEM_BUILDERS[system_name]
+    system: Any = builder(num_replicas, seed=seed)
+    start = time.perf_counter()
+    result: RunResult = run_open_loop(
+        system, rate=rate, duration=duration, warmup=warmup, seed=seed
+    )
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.profile",
+        description="cProfile a standard simulator run and report pay/wall-sec.",
+    )
+    parser.add_argument(
+        "--system", choices=sorted(SYSTEM_BUILDERS), default=DEFAULT_SYSTEM
+    )
+    parser.add_argument("-n", "--num-replicas", type=int,
+                        default=DEFAULT_NUM_REPLICAS)
+    parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
+                        help="offered payments/sec (simulated)")
+    parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
+    parser.add_argument("--warmup", type=float, default=DEFAULT_WARMUP)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"],
+                        help="pstats sort column")
+    parser.add_argument("--limit", type=int, default=30,
+                        help="rows of the profile table to print")
+    parser.add_argument("--no-profile", action="store_true",
+                        help="timing only (no cProfile overhead)")
+    args = parser.parse_args(argv)
+
+    run = lambda: standard_run(  # noqa: E731 - tiny closure over args
+        args.system, args.num_replicas, args.rate, args.duration,
+        args.warmup, args.seed,
+    )
+    if args.no_profile:
+        result, wall = run()
+        profiler = None
+    else:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result, wall = run()
+        profiler.disable()
+
+    pps = result.confirmed / wall if wall > 0 else float("inf")
+    print(
+        f"[profile] system={args.system} N={args.num_replicas} "
+        f"rate={args.rate:.0f}/s window={args.duration}s"
+    )
+    print(
+        f"[profile] confirmed={result.confirmed} wall={wall:.3f}s "
+        f"simulated-payments/wall-clock-second={pps:,.0f}"
+    )
+    if profiler is not None:
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,11 @@ def run_open_loop(
     """
     if workload is None:
         workload = UniformWorkload(client_ids_of(system), seed=seed)
-    meter = ThroughputMeter(bucket_width=0.25)
+    # The meter only counts whole buckets inside the window, so the bucket
+    # width must shrink with the window: a 0.4s probe window against fixed
+    # 0.25s buckets can contain zero aligned buckets and report a rate of
+    # exactly 0 — which a peak search misreads as total saturation.
+    meter = ThroughputMeter(bucket_width=min(0.25, duration / 4))
     window_start = system.sim.now + warmup
     window_end = window_start + duration
     recorder = LatencyRecorder(window_start, window_end)
@@ -70,6 +74,13 @@ def run_open_loop(
         recorder=recorder,
     )
     system.run(window_end + drain)
+    # Detach this run's observer: when the caller reuses the system for a
+    # later run (peak-search warm probes), a stale hook would keep
+    # counting confirmations into this driver's meters and double-count
+    # them against the next run's.
+    remove_hook = getattr(system, "remove_confirm_hook", None)
+    if remove_hook is not None:
+        remove_hook(driver._on_confirm)
     achieved = meter.rate(window_start, window_end)
     return RunResult(
         offered=rate,

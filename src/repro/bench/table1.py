@@ -123,6 +123,7 @@ def _measure_astro2(
     delay_ms: float,
     duration: float,
     seed: int,
+    scale: Optional[BenchScale] = None,
 ) -> Tuple[float, float, float]:
     """Returns (total pps, avg latency s, p95 latency s) at peak load."""
 
@@ -140,6 +141,9 @@ def _measure_astro2(
         workload_factory=lambda _system: SmallbankWorkload(
             OWNERS_PER_SHARD * shards, num_shards=shards, seed=seed
         ),
+        payment_budget=scale.peak_payment_budget if scale else 150_000,
+        max_probes=scale.peak_probe_cap if scale else None,
+        reuse_state=scale.peak_reuse_state if scale else False,
     )
     # One clean confirmation run just below peak for latency numbers.
     system, workload = _build_smallbank_astro2(shards, shard_size, delay_ms, seed)
@@ -155,7 +159,8 @@ def _measure_astro2(
 
 
 def _measure_bft_upper_bound(
-    shard_size: int, delay_ms: float, duration: float, seed: int
+    shard_size: int, delay_ms: float, duration: float, seed: int,
+    scale: Optional[BenchScale] = None,
 ) -> float:
     """Single-shard BFT-SMaRt peak (the paper's optimistic upper bound)."""
 
@@ -183,6 +188,9 @@ def _measure_bft_upper_bound(
         workload_factory=lambda sys_: SmallbankWorkload(
             OWNERS_PER_SHARD, num_shards=1, seed=seed
         ),
+        payment_budget=scale.peak_payment_budget if scale else 150_000,
+        max_probes=scale.peak_probe_cap if scale else None,
+        reuse_state=scale.peak_reuse_state if scale else False,
     )
     return peak.peak_pps
 
@@ -200,11 +208,12 @@ def run_table1(
         for delay_ms in delays_ms:
             total, avg, p95 = _measure_astro2(
                 shards, scale.table1_shard_size, delay_ms,
-                scale.table1_duration, seed,
+                scale.table1_duration, seed, scale=scale,
             )
             if delay_ms not in bft_cache:
                 bft_cache[delay_ms] = _measure_bft_upper_bound(
-                    scale.table1_shard_size, delay_ms, scale.table1_duration, seed
+                    scale.table1_shard_size, delay_ms, scale.table1_duration, seed,
+                    scale=scale,
                 )
             bft_per_shard = bft_cache[delay_ms]
             rows.append(

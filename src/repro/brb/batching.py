@@ -34,7 +34,7 @@ T = TypeVar("T")
 class Batch:
     """An immutable batch of payments broadcast as one BRB payload."""
 
-    __slots__ = ("items", "batch_items", "size_bytes", "_digest")
+    __slots__ = ("items", "batch_items", "size_bytes", "_digest", "_canonical")
 
     #: Wire size of one payment: spender, beneficiary, amount, sequence
     #: number, and client authentication data — "roughly 100 bytes" (§VI-B).
@@ -45,28 +45,41 @@ class Batch:
             raise ValueError("a batch must contain at least one payment")
         self.items: Tuple[Any, ...] = tuple(items)
         self.batch_items = len(self.items)
-        self.size_bytes = sum(
-            getattr(item, "wire_bytes", self.PAYMENT_BYTES) for item in self.items
-        )
+        size = 0
+        for item in self.items:
+            size += getattr(item, "wire_bytes", self.PAYMENT_BYTES)
+        self.size_bytes = size
         self._digest: Optional[Digest] = None
+        self._canonical: Optional[tuple] = None
 
     @property
     def cached_digest(self) -> Digest:
         """Digest of the batch content, computed once per object.
 
+        Derived from the items' own memoized digests: two batches carry
+        equal content iff their item digest sequences match, which is the
+        same collision-freedom guarantee ``digest`` gives directly.
         Caching per object is sound because batches are immutable: an
         equivocating broadcaster necessarily creates distinct objects for
         its distinct payloads.
         """
-        if self._digest is None:
-            self._digest = digest(self)
-        return self._digest
+        value = self._digest
+        if value is None:
+            try:
+                parts = tuple([item.cached_digest for item in self.items])
+            except AttributeError:
+                parts = tuple([digest(item) for item in self.items])
+            value = self._digest = hash(("batch", parts)) & 0xFFFFFFFFFFFFFFFF
+        return value
 
     def canonical(self) -> tuple:
-        return tuple(
-            item.canonical() if hasattr(item, "canonical") else item
-            for item in self.items
-        )
+        value = self._canonical
+        if value is None:
+            value = self._canonical = tuple(
+                item.canonical() if hasattr(item, "canonical") else item
+                for item in self.items
+            )
+        return value
 
     def __iter__(self):
         return iter(self.items)

@@ -113,6 +113,8 @@ class BrachaBroadcast(BroadcastLayer):
         self.ready_quorum = 2 * self.f + 1
         self.amplify_threshold = self.f + 1
         self.fifo = fifo
+        #: Peers minus ourselves, in peer order — the fan-out target list.
+        self._others: List[int] = [p for p in self.peers if p != node.node_id]
         self._instances: Dict[Tuple[int, int], _Instance] = {}
         #: Per-origin: highest contiguously delivered sequence number.
         self._delivered_up_to: Dict[int, int] = {}
@@ -131,12 +133,10 @@ class BrachaBroadcast(BroadcastLayer):
         size = _HEADER_BYTES + payload_bytes
         message = BrbPrepare(seq, payload, size)
         cost = self._payload_recv_cost(size, payload)
-        for dst in self.peers:
-            if dst == self.node.node_id:
-                continue
-            self.node.send(
-                dst, message, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
-            )
+        self.node.broadcast(
+            self._others, message, size=size, recv_cost=cost,
+            send_cost=costs.SEND_OVERHEAD,
+        )
         # Local short-circuit: the broadcaster processes its own PREPARE.
         self._handle_prepare(self.node.node_id, message)
 
@@ -191,13 +191,18 @@ class BrachaBroadcast(BroadcastLayer):
 
     def _apply_echo(self, src: int, message: BrbEcho) -> None:
         instance = self._instance(message.origin, message.seq)
+        if instance.ready_sent:
+            # Quorum already reached: late ECHOes can never change our
+            # vote, so skip the digest lookup and vote bookkeeping.
+            return
         payload_digest = _payload_digest(message.payload)
         entry = instance.echoes.get(payload_digest)
         if entry is None:
             entry = (message.payload, set())
             instance.echoes[payload_digest] = entry
-        entry[1].add(src)
-        if len(entry[1]) >= self.echo_quorum and not instance.ready_sent:
+        voters = entry[1]
+        voters.add(src)
+        if len(voters) >= self.echo_quorum:
             instance.ready_sent = True
             ready = BrbReady(message.origin, message.seq, message.payload, message.size)
             self._send_and_self_apply(ready, self._apply_ready)
@@ -207,6 +212,10 @@ class BrachaBroadcast(BroadcastLayer):
 
     def _apply_ready(self, src: int, message: BrbReady) -> None:
         instance = self._instance(message.origin, message.seq)
+        if instance.delivered and instance.ready_sent:
+            # Both READY-driven transitions already happened; late READYs
+            # are pure noise for this instance.
+            return
         payload_digest = _payload_digest(message.payload)
         entry = instance.readys.get(payload_digest)
         if entry is None:
@@ -255,12 +264,8 @@ class BrachaBroadcast(BroadcastLayer):
         network stack; applying locally also keeps event counts down.
         """
         cost = self._control_recv_cost(message.size)
-        me = self.node.node_id
-        for dst in self.peers:
-            if dst == me:
-                continue
-            self.node.send(
-                dst, message, size=message.size, recv_cost=cost,
-                send_cost=costs.SEND_OVERHEAD,
-            )
-        apply(me, message)
+        self.node.broadcast(
+            self._others, message, size=message.size, recv_cost=cost,
+            send_cost=costs.SEND_OVERHEAD,
+        )
+        apply(self.node.node_id, message)

@@ -142,6 +142,8 @@ class SignedBroadcast(BroadcastLayer):
         self.n = len(self.peers)
         self.f = f if f is not None else max_faulty(self.n)
         self.ack_quorum = byzantine_quorum(self.n, self.f)
+        #: Peers minus ourselves, in peer order — the fan-out target list.
+        self._others: List[int] = [p for p in self.peers if p != node.node_id]
         self._instances: Dict[Tuple[int, int], _Instance] = {}
         self._delivered_count = 0
         node.on(SbPrepare, self._on_prepare)
@@ -160,12 +162,10 @@ class SignedBroadcast(BroadcastLayer):
             + costs.HASH_PER_PAYMENT * _payload_items(payload)
             + costs.ECDSA_SIGN  # the receiver signs its ACK
         )
-        for dst in self.peers:
-            if dst == self.node.node_id:
-                continue
-            self.node.send(
-                dst, message, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
-            )
+        self.node.broadcast(
+            self._others, message, size=size, recv_cost=cost,
+            send_cost=costs.SEND_OVERHEAD,
+        )
         # Hashing + signing our own ACK costs CPU even without a send.
         self.node.cpu.occupy(
             costs.HASH_PER_PAYMENT * _payload_items(payload) + costs.ECDSA_SIGN
@@ -201,7 +201,11 @@ class SignedBroadcast(BroadcastLayer):
         if self.ack_guard is not None and not self.ack_guard(
             src, message.seq, message.payload
         ):
-            return  # Listing 6: a conflicting payload is never ACKed
+            # Listing 6: a conflicting payload is never ACKed.  The check
+            # also runs for our own broadcasts: a Byzantine broadcaster
+            # equivocating through this very endpoint must not count its
+            # own ACK twice, or quorum intersection breaks.
+            return
         payload_digest = _payload_digest(message.payload)
         instance.pending = message.payload
         instance.pending_digest = payload_digest
@@ -228,6 +232,11 @@ class SignedBroadcast(BroadcastLayer):
     def _apply_ack(self, src: int, message: SbAck) -> None:
         if message.origin != self.node.node_id:
             return  # ACKs only matter to the broadcaster
+        instance = self._instances.get((message.origin, message.seq))
+        if instance is not None and instance.committed:
+            # Quorum already gathered and COMMIT sent: late ACKs cannot
+            # matter, so skip the signature verification.
+            return
         content = _ack_content(message.origin, message.seq, message.payload_digest)
         if not verify(self.keychain, message.signature, content):
             return
@@ -252,12 +261,10 @@ class SignedBroadcast(BroadcastLayer):
             + costs.PER_BYTE_CPU * size
             + costs.ECDSA_VERIFY * len(proof)
         )
-        for dst in self.peers:
-            if dst == self.node.node_id:
-                continue
-            self.node.send(
-                dst, commit, size=size, recv_cost=cost, send_cost=costs.SEND_OVERHEAD
-            )
+        self.node.broadcast(
+            self._others, commit, size=size, recv_cost=cost,
+            send_cost=costs.SEND_OVERHEAD,
+        )
         self._apply_commit(commit)
 
     def _on_commit(self, src: int, message: SbCommit) -> None:

@@ -13,6 +13,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from ..core.accounts import AccountState
 from ..core.payment import ClientId, Payment
+from ..core.xlog import ExclusiveLog
 
 __all__ = ["PaymentLedger"]
 
@@ -32,30 +33,53 @@ class PaymentLedger:
 
     def apply(self, payment: Payment) -> None:
         """Apply one ordered payment (settling everything it unblocks)."""
-        self._waiting.setdefault(payment.spender, {})[payment.seq] = payment
-        self._drain(deque([payment.spender]))
+        spender = payment.spender
+        waiting = self._waiting
+        queue = waiting.get(spender)
+        if queue is None:
+            queue = waiting[spender] = {}
+        queue[payment.seq] = payment
+        self._drain(deque((spender,)))
 
     def _drain(self, worklist: Deque[ClientId]) -> None:
+        # Executes once per payment per replica — the consensus baseline's
+        # hottest code, hence the local bindings and hand-inlined
+        # state.settle_full.
+        state = self.state
+        balances = state.balances
+        seqnums = state.seqnums
+        xlogs = state.xlogs
+        waiting = self._waiting
+        on_settle = self.on_settle
         while worklist:
             client = worklist.popleft()
-            queue = self._waiting.get(client)
+            queue = waiting.get(client)
             if not queue:
                 continue
             while True:
-                next_seq = self.state.seqnum(client) + 1
+                next_seq = seqnums.get(client, 0) + 1
                 payment = queue.get(next_seq)
                 if payment is None:
                     break
-                if self.state.balance(client) < payment.amount:
+                amount = payment.amount
+                if balances.get(client, 0) < amount:
                     break
                 queue.pop(next_seq)
-                self.state.settle_full(payment)
+                beneficiary = payment.beneficiary
+                balances[client] = balances.get(client, 0) - amount
+                balances[beneficiary] = balances.get(beneficiary, 0) + amount
+                seqnums[client] = next_seq
+                log = xlogs.get(client)
+                if log is None:
+                    log = xlogs[client] = ExclusiveLog(client)
+                # seq == len(xlog)+1 is guaranteed by the gap queue above.
+                log._entries.append(payment)
                 self.settled_count += 1
-                if self.on_settle is not None:
-                    self.on_settle(payment)
-                worklist.append(payment.beneficiary)
+                if on_settle is not None:
+                    on_settle(payment)
+                worklist.append(beneficiary)
             if not queue:
-                self._waiting.pop(client, None)
+                waiting.pop(client, None)
 
     @property
     def waiting_count(self) -> int:

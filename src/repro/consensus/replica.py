@@ -82,11 +82,17 @@ class BftReplica(Node):
         super().__init__(sim, node_id, network)
         self.config = config
         self.peers = list(peers)
+        #: Peers minus ourselves, in peer order — the fan-out target list.
+        self._others = [p for p in self.peers if p != node_id]
         self.n = len(self.peers)
         self.f = config.f
         self.quorum = config.quorum
         self.view = 0
         self.in_view_change = False
+        self._leader_now = False
+        self._refresh_leader_flag()
+        #: Per-request ingestion cost, cached off the config object.
+        self._request_cost = config.request_cost * config.overhead_factor
         self.ledger = PaymentLedger(genesis, on_settle=self._on_settle)
         #: Requests awaiting proposal (leader only).  BFT-SMaRt batches
         #: whatever accumulated when a consensus slot frees, rather than
@@ -126,9 +132,21 @@ class BftReplica(Node):
     def leader_of(self, view: int) -> int:
         return self.peers[view % self.n]
 
+    def _refresh_leader_flag(self) -> None:
+        """Recompute the cached leadership flag.
+
+        Must be called whenever ``view`` or ``in_view_change`` changes;
+        caching keeps the per-request leadership test O(1) attribute
+        access instead of two method calls.
+        """
+        self._leader_now = (
+            self.peers[self.view % self.n] == self.node_id
+            and not self.in_view_change
+        )
+
     @property
     def is_leader(self) -> bool:
-        return self.leader_of(self.view) == self.node_id and not self.in_view_change
+        return self._leader_now
 
     # ------------------------------------------------------------------
     # Cost model helpers
@@ -148,11 +166,10 @@ class BftReplica(Node):
 
     def _broadcast(self, message: Any, size: int, extra_recv: float = 0.0) -> None:
         cost = self._recv_cost(size, extra_recv)
-        for dst in self.peers:
-            if dst == self.node_id:
-                continue
-            self.send(dst, message, size=size, recv_cost=cost,
-                      send_cost=self._send_cost())
+        self.broadcast(
+            self._others, message, size=size, recv_cost=cost,
+            send_cost=self._send_cost(),
+        )
 
     # ------------------------------------------------------------------
     # Requests
@@ -163,17 +180,18 @@ class BftReplica(Node):
     def submit_local(self, payment: Payment) -> None:
         """Inject a request as if multicast by a client (one replica's
         share; the system object fans out to all replicas)."""
-        self.cpu.occupy(self.config.request_cost * self.config.overhead_factor)
+        self.cpu.occupy(self._request_cost)
         self.receive_request(payment)
 
     def receive_request(self, payment: Payment) -> None:
         if not self.alive:
             return
         key = payment.identifier
-        if key in self._pending:
+        pending = self._pending
+        if key in pending:
             return
-        self._pending[key] = (payment, self.sim.now)
-        if self.is_leader:
+        pending[key] = (payment, self.sim.now)
+        if self._leader_now:
             self._request_queue.append(payment)
             self._schedule_flush()
 
@@ -249,11 +267,16 @@ class BftReplica(Node):
         if message.view != self.view or self.in_view_change:
             return
         instance = self._instances.setdefault(message.seq, _Instance())
+        if instance.accept_sent:
+            # Our ACCEPT is out; the write certificate for our digest is
+            # already recorded, so further WRITEs cannot change anything
+            # (including view-change re-proposal choice, which only asks
+            # whether *some* bucket reached the quorum).
+            return
         voters = instance.writes.setdefault(message.batch_digest, set())
         voters.add(src)
         if (
             len(voters) >= self.quorum
-            and not instance.accept_sent
             and instance.digest == message.batch_digest
         ):
             instance.accept_sent = True
@@ -268,11 +291,12 @@ class BftReplica(Node):
         if message.view != self.view or self.in_view_change:
             return
         instance = self._instances.setdefault(message.seq, _Instance())
+        if instance.decided:
+            return  # late ACCEPTs cannot change a decided instance
         voters = instance.accepts.setdefault(message.batch_digest, set())
         voters.add(src)
         if (
             len(voters) >= self.quorum
-            and not instance.decided
             and instance.batch is not None
             and instance.digest == message.batch_digest
         ):
@@ -322,8 +346,13 @@ class BftReplica(Node):
             if self.sim.now - self._view_entered_at > self.config.request_timeout:
                 self._send_stop(target)
             return
-        deadline = self.sim.now - self.config.request_timeout
-        if any(arrival <= deadline for _, arrival in self._pending.values()):
+        if not self._pending:
+            return
+        # Pending requests are inserted in arrival order and re-stamped in
+        # bulk on view entry, so the first entry always carries the
+        # earliest arrival: the timeout check is O(1), not a scan.
+        _, earliest = next(iter(self._pending.values()))
+        if earliest <= self.sim.now - self.config.request_timeout:
             self._send_stop(target)
 
     def _send_stop(self, new_view: int) -> None:
@@ -351,6 +380,7 @@ class BftReplica(Node):
             return
         self.view = new_view
         self.in_view_change = True
+        self._refresh_leader_flag()
         self.view_changes += 1
         self._view_entered_at = self.sim.now
         self._outstanding = 0
@@ -447,6 +477,7 @@ class BftReplica(Node):
             return
         self.view = message.new_view
         self.in_view_change = False
+        self._refresh_leader_flag()
         # Restart request timers: the new leader deserves a full timeout
         # before anyone votes to depose it.
         now = self.sim.now

@@ -171,6 +171,13 @@ class BftSystem:
     def add_confirm_hook(self, hook: ConfirmHook) -> None:
         self._confirm_hooks.append(hook)
 
+    def remove_confirm_hook(self, hook: ConfirmHook) -> None:
+        """Detach a hook added by :meth:`add_confirm_hook` (idempotent)."""
+        try:
+            self._confirm_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def _on_replica_exec(self, payment: Payment) -> None:
         key = payment.identifier
         submitted = self._submit_times.get(key)

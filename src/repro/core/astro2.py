@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Deque, Dict, List, Optional, Set, Tuple
 from collections import deque
 
-from ..brb.batching import Batch, group_by_representative
+from ..brb.batching import Batch
 from ..brb.signed import SignedBroadcast
 from ..crypto import costs
 from ..crypto.keys import Keychain, KeyPair
@@ -39,13 +39,9 @@ from .dependencies import (
 from .directory import Directory
 from .payment import ClientId, Payment, PaymentId
 from .replica import AstroReplicaBase
+from .xlog import ExclusiveLog
 
 __all__ = ["Astro2Replica"]
-
-
-def _core_fields(payment: Payment) -> tuple:
-    """Payment content for conflict detection (deps are rep metadata)."""
-    return (payment.spender, payment.seq, payment.beneficiary, payment.amount)
 
 
 class Astro2Replica(AstroReplicaBase):
@@ -118,14 +114,16 @@ class Astro2Replica(AstroReplicaBase):
         payments (same identifier, different content) at most one can ever
         gather a commit certificate — Astro's double-spend prevention.
         """
-        for payment in batch:
-            if self.directory.rep_of(payment.spender) != origin:
+        rep_get = self._rep_map.get
+        seen = self._seen_payments
+        for payment in batch.items:
+            if rep_get(payment.spender) != origin:
                 return False
-            previous = self._seen_payments.get(payment.identifier)
-            if previous is not None and previous != _core_fields(payment):
+            previous = seen.get(payment.identifier)
+            if previous is not None and previous != payment.core:
                 return False
-        for payment in batch:
-            self._seen_payments[payment.identifier] = _core_fields(payment)
+        for payment in batch.items:
+            seen[payment.identifier] = payment.core
         return True
 
     # ------------------------------------------------------------------
@@ -216,34 +214,55 @@ class Astro2Replica(AstroReplicaBase):
     # ------------------------------------------------------------------
     # Settlement (Listings 8–9)
     # ------------------------------------------------------------------
+    #: Astro II approval waits only on the sequence number (Listing 8);
+    #: the funds decision happens inside settle and never blocks, so the
+    #: drain loop skips the per-payment approval call.
+    _approval_is_trivial = True
+
     def _approve_funds(self, payment: Payment) -> bool:
-        # Astro II approval waits only on the sequence number (Listing 8);
-        # the funds decision happens inside settle and never blocks.
         return True
 
     def _settle(self, payment: Payment) -> Optional[ClientId]:
         spender = payment.spender
-        used = self._used_deps.setdefault(spender, set())
-        # Materialize never-seen-before dependencies (Listing 9 l.44-48).
-        for cert in payment.deps:
-            if cert.beneficiary != spender:
-                continue
-            if cert.dep_id in used:
-                continue  # replay: each certificate credits at most once
-            if not self._cert_valid(cert):
-                continue
-            used.add(cert.dep_id)
-            self.state.credit(spender, cert.amount)
-        if self.state.balance(spender) < payment.amount:
+        if payment.deps:
+            used = self._used_deps.get(spender)
+            if used is None:
+                used = self._used_deps[spender] = set()
+            # Materialize never-seen-before dependencies (Listing 9 l.44-48).
+            for cert in payment.deps:
+                if cert.beneficiary != spender:
+                    continue
+                if cert.dep_id in used:
+                    continue  # replay: each certificate credits at most once
+                if not self._cert_valid(cert):
+                    continue
+                used.add(cert.dep_id)
+                self.state.credit(spender, cert.amount)
+        # Hand-inlined state.settle_spend_only plus the funds check — this
+        # runs once per payment per replica and is Astro II's hottest code.
+        state = self.state
+        balances = state.balances
+        balance = balances.get(spender, 0)
+        amount = payment.amount
+        if balance < amount:
             # Listing 9 l.49: an underfunded payment is dropped without
             # advancing sn.  Correct representatives prove funds before
             # broadcasting, so this fires only under faulty clients/reps.
             self.rejected.append(payment)
             return None
-        self.state.settle_spend_only(payment)
+        balances[spender] = balance - amount
+        state.seqnums[spender] = state.seqnums.get(spender, 0) + 1
+        xlogs = state.xlogs
+        log = xlogs.get(spender)
+        if log is None:
+            log = xlogs[spender] = ExclusiveLog(spender)
+        # seq == len(xlog)+1 is guaranteed by the drain loop's gap queue
+        # (seqnum and xlog length move in lockstep), so the append-time
+        # re-validation of ExclusiveLog.append is skipped here.
+        log._entries.append(payment)
         self.settled_count += 1
         self._credit_buffer.append(payment)
-        if self.directory.rep_of(spender) == self.node_id:
+        if self._rep_map.get(spender) == self.node_id:
             self._confirm(payment)
         return None  # no direct deposit — nothing new to re-examine
 
@@ -265,9 +284,17 @@ class Astro2Replica(AstroReplicaBase):
         if not self._credit_buffer:
             return
         settled, self._credit_buffer = self._credit_buffer, []
-        groups = group_by_representative(
-            settled, lambda p: self.directory.rep_of(p.beneficiary)
-        )
+        # Inlined group_by_representative: one dict lookup per payment
+        # instead of a lambda plus a method call.
+        rep_get = self._rep_map.get
+        groups: Dict[int, List[Payment]] = {}
+        for payment in settled:
+            rep_node = rep_get(payment.beneficiary)
+            bucket = groups.get(rep_node)
+            if bucket is None:
+                groups[rep_node] = [payment]
+            else:
+                bucket.append(payment)
         for rep_node, payments in groups.items():
             # One signature per sub-batch is the whole point of the
             # second batching level.
@@ -295,13 +322,23 @@ class Astro2Replica(AstroReplicaBase):
         self._apply_credit(src, message)
 
     def _apply_credit(self, src: int, message: CreditMessage) -> None:
-        for cert in self._collector.add_credit(src, message):
-            beneficiary = cert.beneficiary
-            self._deps.setdefault(beneficiary, []).append(cert)
-            self._projected[beneficiary] = (
-                self._projected.get(beneficiary, 0) + cert.amount
-            )
-            self._release_held(beneficiary)
+        certs = self._collector.add_credit(src, message)
+        if not certs:
+            return
+        deps = self._deps
+        projected = self._projected
+        held = self._held
+        for cert in certs:
+            payment = cert.payment
+            beneficiary = payment.beneficiary
+            bucket = deps.get(beneficiary)
+            if bucket is None:
+                deps[beneficiary] = [cert]
+            else:
+                bucket.append(cert)
+            projected[beneficiary] = projected.get(beneficiary, 0) + payment.amount
+            if beneficiary in held:
+                self._release_held(beneficiary)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..crypto import costs
-from ..crypto.hashing import Digest, digest
+from ..crypto.hashing import Digest
 from ..crypto.keys import Keychain, replica_owner
 from ..crypto.signatures import Signature, sign, verify
 from .directory import Directory
@@ -41,6 +41,9 @@ __all__ = [
 ]
 
 
+_DIGEST_MASK = 0xFFFFFFFFFFFFFFFF
+
+
 def credit_content(shard_id: int, subbatch_digest: Digest) -> tuple:
     """The statement a CREDIT signature endorses: 'my shard settled this
     sub-batch'."""
@@ -54,8 +57,24 @@ def subbatch_digest_of(payments: Sequence[Payment]) -> Digest:
     payment → deps → crediting payment → its deps → …; a settled payment's
     attached certificates are already consumed and are irrelevant to the
     credit it produces.
+
+    Combines the payments' memoized core digests instead of
+    re-canonicalizing every payment: two sub-batches carry the same core
+    digest sequence iff they carry the same payment content in the same
+    order, which preserves the collision-freedom the certificate scheme
+    relies on while making re-verification O(|sub-batch|) dictionary
+    lookups.
     """
-    return digest(tuple(p.core_canonical() for p in payments))
+    return (
+        hash((
+            "subbatch",
+            tuple([
+                cached if (cached := p._core_digest) is not None else p.core_digest()
+                for p in payments
+            ]),
+        ))
+        & _DIGEST_MASK
+    )
 
 
 class CreditMessage:
@@ -105,7 +124,8 @@ class DependencyCertificate:
     over the sub-batch.
     """
 
-    __slots__ = ("payment", "shard_id", "subbatch", "subbatch_digest", "signatures")
+    __slots__ = ("payment", "shard_id", "subbatch", "subbatch_digest",
+                 "signatures", "_canonical")
 
     def __init__(
         self,
@@ -123,6 +143,7 @@ class DependencyCertificate:
             else subbatch_digest_of(subbatch)
         )
         self.signatures = signatures
+        self._canonical: Optional[tuple] = None
 
     @property
     def dep_id(self) -> PaymentId:
@@ -143,13 +164,16 @@ class DependencyCertificate:
         return 40 + len(self.signatures) * (costs.SIGNATURE_BYTES + 8)
 
     def canonical(self) -> tuple:
-        return (
-            "depcert",
-            self.shard_id,
-            self.payment.core_canonical(),
-            self.subbatch_digest,
-            tuple(s.canonical() for s in self.signatures),
-        )
+        value = self._canonical
+        if value is None:
+            value = self._canonical = (
+                "depcert",
+                self.shard_id,
+                self.payment.core_canonical(),
+                self.subbatch_digest,
+                tuple(s.canonical() for s in self.signatures),
+            )
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -217,14 +241,28 @@ class DependencyCollector:
         #: Payments of finished sub-batches (kept until certified).
         self._payments: Dict[Tuple[int, Digest], Tuple[Payment, ...]] = {}
         self._certified: Set[Tuple[int, Digest]] = set()
+        #: shard -> (member set, f+1) — shard membership is static for the
+        #: collector's lifetime and consulted once per CREDIT message.
+        self._shard_info: Dict[int, Tuple[Set[int], int]] = {}
+
+    def _shard_lookup(self, shard: int) -> Optional[Tuple[Set[int], int]]:
+        info = self._shard_info.get(shard)
+        if info is None:
+            try:
+                members = set(self.directory.members(shard))
+                needed = self.directory.faulty_bound(shard) + 1
+            except KeyError:
+                return None
+            info = self._shard_info[shard] = (members, needed)
+        return info
 
     def add_credit(self, src: int, message: CreditMessage) -> List[DependencyCertificate]:
         """Process one CREDIT; returns freshly minted certificates (if any)."""
         shard = message.shard_id
-        try:
-            members = self.directory.members(shard)
-        except KeyError:
+        info = self._shard_lookup(shard)
+        if info is None:
             return []
+        members, needed = info
         if src not in members:
             return []
         content = credit_content(shard, message.subbatch_digest)
@@ -238,7 +276,6 @@ class DependencyCollector:
         bucket = self._partial.setdefault(key, {})
         bucket[src] = message.signature
         self._payments.setdefault(key, message.payments)
-        needed = self.directory.faulty_bound(shard) + 1
         if len(bucket) < needed:
             return []
         self._certified.add(key)

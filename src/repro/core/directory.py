@@ -50,6 +50,17 @@ class Directory:
         """Representative replica of ``client`` (s(·) notation, §V)."""
         return self._rep_of[client]
 
+    @property
+    def rep_map(self) -> Dict[ClientId, int]:
+        """The client → representative mapping itself.
+
+        Exposed for hot loops that look up representatives per payment;
+        treat as read-only.  The dict object is stable for the lifetime of
+        the directory (reconfiguration mutates it in place), so callers
+        may cache the reference.
+        """
+        return self._rep_of
+
     def knows_client(self, client: ClientId) -> bool:
         return client in self._rep_of
 

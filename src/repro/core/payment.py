@@ -20,6 +20,8 @@ ClientId = Hashable
 #: A payment identifier: (spender, sequence number).
 PaymentId = Tuple[ClientId, int]
 
+_MASK = 0xFFFFFFFFFFFFFFFF
+
 
 class Payment:
     """One transfer of ``amount`` from ``spender`` to ``beneficiary``.
@@ -29,9 +31,28 @@ class Payment:
     ``submitted_at`` is measurement metadata (set by load drivers) and is
     excluded from the canonical form, so it never affects digests or
     signatures.
+
+    Payments are immutable once constructed; every replica of a deployment
+    touches each payment several times (ack guards, settle, sub-batch
+    digests), so derived forms — the identifier, the flat core tuple, the
+    wire size, the canonical form, and both digests — are computed once
+    and cached on the instance.
     """
 
-    __slots__ = ("spender", "seq", "beneficiary", "amount", "deps", "submitted_at")
+    __slots__ = (
+        "spender",
+        "seq",
+        "beneficiary",
+        "amount",
+        "deps",
+        "submitted_at",
+        "identifier",
+        "core",
+        "wire_bytes",
+        "_canonical",
+        "_digest",
+        "_core_digest",
+    )
 
     def __init__(
         self,
@@ -52,15 +73,21 @@ class Payment:
         self.amount = amount
         self.deps = deps
         self.submitted_at = submitted_at
-
-    @property
-    def identifier(self) -> PaymentId:
-        return (self.spender, self.seq)
-
-    @property
-    def wire_bytes(self) -> int:
-        """Serialized size: ~100 bytes (§VI-B) plus attached dependencies."""
-        return 100 + sum(getattr(dep, "wire_bytes", 0) for dep in self.deps)
+        #: (spender, seq) — the agreement unit (§IV), precomputed.
+        self.identifier = (spender, seq)
+        #: Flat canonical form of the transfer itself (see core_canonical).
+        self.core = (spender, seq, beneficiary, amount)
+        #: Serialized size: ~100 bytes (§VI-B) plus attached dependencies.
+        if deps:
+            wire = 100
+            for dep in deps:
+                wire += getattr(dep, "wire_bytes", 0)
+            self.wire_bytes = wire
+        else:
+            self.wire_bytes = 100
+        self._canonical: Optional[tuple] = None
+        self._digest: Optional[int] = None
+        self._core_digest: Optional[int] = None
 
     def core_canonical(self) -> tuple:
         """Canonical form of the transfer itself, excluding dependencies.
@@ -70,26 +97,49 @@ class Payment:
         own dependency certificates, or canonical forms would recurse
         through the whole payment history.
         """
-        return (self.spender, self.seq, self.beneficiary, self.amount)
+        return self.core
+
+    def core_digest(self) -> int:
+        """Memoized 64-bit digest of the core form (sub-batch hashing)."""
+        value = self._core_digest
+        if value is None:
+            value = self._core_digest = hash(("payment-core", self.core)) & _MASK
+        return value
 
     def canonical(self) -> tuple:
-        deps = tuple(
-            dep.canonical() if hasattr(dep, "canonical") else dep for dep in self.deps
-        )
-        return (self.spender, self.seq, self.beneficiary, self.amount, deps)
+        value = self._canonical
+        if value is None:
+            deps_src = self.deps
+            if deps_src:
+                deps = tuple(
+                    dep.canonical() if hasattr(dep, "canonical") else dep
+                    for dep in deps_src
+                )
+            else:
+                deps = ()
+            value = self._canonical = self.core + (deps,)
+        return value
+
+    @property
+    def cached_digest(self) -> int:
+        """Memoized full-content digest (consulted by ``crypto.digest``)."""
+        value = self._digest
+        if value is None:
+            c = self._canonical
+            if c is None:
+                c = self.canonical()
+            value = self._digest = hash(("payment", c)) & _MASK
+        return value
 
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Payment)
-            and self.spender == other.spender
-            and self.seq == other.seq
-            and self.beneficiary == other.beneficiary
-            and self.amount == other.amount
+            and self.core == other.core
             and self.deps == other.deps
         )
 
     def __hash__(self) -> int:
-        return hash((self.spender, self.seq, self.beneficiary, self.amount))
+        return hash(self.core)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

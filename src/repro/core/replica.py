@@ -33,6 +33,10 @@ ConfirmFn = Callable[[Payment, float], None]
 class AstroReplicaBase(Node):
     """Shared replica behaviour; concrete variants override the hooks."""
 
+    #: Set by variants whose :meth:`_approve_funds` unconditionally
+    #: returns True; lets the drain loop skip the call per payment.
+    _approval_is_trivial = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -45,6 +49,13 @@ class AstroReplicaBase(Node):
         super().__init__(sim, node_id, network)
         self.config = config
         self.directory = directory
+        #: Cached reference to the directory's client → representative
+        #: dict; consulted once per payment on several hot paths.
+        self._rep_map = directory.rep_map
+        #: Per-payment cost constants, cached off the config object.
+        self._ingest_cost = config.ingest_cost
+        self._settle_cost = config.settle_cost
+        self._confirm_cost = config.confirm_cost
         self.state = AccountState(genesis)
         self.batcher: Batcher[Payment] = Batcher(
             sim,
@@ -84,7 +95,7 @@ class AstroReplicaBase(Node):
         Used by load generators; charges the same ingestion CPU a real
         client request would.
         """
-        self.cpu.occupy(self.config.ingest_cost)
+        self.cpu.occupy(self._ingest_cost)
         self.ingest(payment)
 
     def ingest(self, payment: Payment) -> None:
@@ -94,16 +105,16 @@ class AstroReplicaBase(Node):
         "only the representative can broadcast outgoing payments for a
         client's xlog" (§II).
         """
-        if not self.alive:
+        spender = payment.spender
+        if self._rep_map.get(spender) != self.node_id or not self.alive:
             return
-        if self.directory.rep_of(payment.spender) != self.node_id:
-            return
-        expected = self._accepted_seq.get(payment.spender, 0) + 1
+        accepted = self._accepted_seq
+        expected = accepted.get(spender, 0) + 1
         if payment.seq != expected:
             # Reused or out-of-order sequence number: a correct client
             # never does this, so the submission is discarded.
             return
-        self._accepted_seq[payment.spender] = payment.seq
+        accepted[spender] = payment.seq
         prepared = self._prepare_outgoing(payment)
         if prepared is not None:
             self.batcher.add(prepared)
@@ -153,18 +164,27 @@ class AstroReplicaBase(Node):
         """Process a BRB-delivered batch of payments."""
         if not self.alive:
             return
-        self.cpu.occupy(self.config.settle_cost * batch.batch_items)
+        self.cpu.occupy(self._settle_cost * batch.batch_items)
+        # Local bindings: this loop runs once per payment per replica and
+        # dominates the settle path at high offered rates.
+        rep_get = self._rep_map.get
+        awaiting = self._awaiting_seq
+        seqnums = self.state.seqnums
         touched_set = set()
-        for payment in batch:
+        for payment in batch.items:
             # Defense in depth: a payment may only arrive via its
             # spender's representative (§II).
-            if self.directory.rep_of(payment.spender) != origin:
+            spender = payment.spender
+            if rep_get(spender) != origin:
                 continue
-            queue = self._awaiting_seq.setdefault(payment.spender, {})
-            if payment.seq in queue or payment.seq <= self.state.seqnum(payment.spender):
+            queue = awaiting.get(spender)
+            if queue is None:
+                queue = awaiting[spender] = {}
+            seq = payment.seq
+            if seq in queue or seq <= seqnums.get(spender, 0):
                 continue  # duplicate identifier: first delivery wins
-            queue[payment.seq] = payment
-            touched_set.add(payment.spender)
+            queue[seq] = payment
+            touched_set.add(spender)
         self._drain(deque(touched_set), origin)
         if origin == self.node_id:
             self._batch_done()
@@ -176,24 +196,30 @@ class AstroReplicaBase(Node):
         afford queued spends), so this cascades via a worklist until no
         progress remains.
         """
+        awaiting = self._awaiting_seq
+        seqnums = self.state.seqnums
+        # Variants whose approval criterion (2) never blocks (Astro II,
+        # Listing 8) skip the per-payment approval call entirely.
+        approve = self._approve_funds if not self._approval_is_trivial else None
+        settle = self._settle
         while worklist:
             client = worklist.popleft()
-            queue = self._awaiting_seq.get(client)
+            queue = awaiting.get(client)
             if not queue:
                 continue
             while True:
-                next_seq = self.state.seqnum(client) + 1
+                next_seq = seqnums.get(client, 0) + 1
                 payment = queue.get(next_seq)
                 if payment is None:
                     break
-                if not self._approve_funds(payment):
+                if approve is not None and not approve(payment):
                     break  # criterion (2): wait for credits (Listing 3 l.18)
                 queue.pop(next_seq)
-                beneficiary = self._settle(payment)
+                beneficiary = settle(payment)
                 if beneficiary is not None:
                     worklist.append(beneficiary)
             if not queue:
-                self._awaiting_seq.pop(client, None)
+                awaiting.pop(client, None)
 
     def _approve_funds(self, payment: Payment) -> bool:
         """Variant hook: approval criterion (2), sufficient funds."""
@@ -212,7 +238,7 @@ class AstroReplicaBase(Node):
     # ------------------------------------------------------------------
     def _confirm(self, payment: Payment) -> None:
         """Notify the spender that her payment settled (we are her rep)."""
-        self.cpu.occupy(self.config.confirm_cost)
+        self.cpu.occupy(self._confirm_cost)
         now = self.sim.now
         for hook in self.confirm_hooks:
             hook(payment, now)

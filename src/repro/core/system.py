@@ -55,6 +55,12 @@ class _AstroSystemBase:
         self.network = network
         self.faults = FaultInjector(self.sim, self.network)
         self.directory = Directory()
+        #: Cached client → representative dict (stable object, hot path).
+        self._rep_map = self.directory.rep_map
+        #: Lazily filled client → representative *replica object* cache;
+        #: representatives never change after registration, only new
+        #: clients appear (which simply miss once).
+        self._rep_replica: Dict[ClientId, AstroReplicaBase] = {}
         self.replicas: List[AstroReplicaBase] = []
         self._replica_by_node: Dict[int, AstroReplicaBase] = {}
         self._next_seq: Dict[ClientId, int] = {}
@@ -91,9 +97,24 @@ class _AstroSystemBase:
         )
 
     def submit(self, spender: ClientId, beneficiary: ClientId, amount: int) -> Payment:
-        """Create and inject a payment at the spender's representative."""
-        payment = self.make_payment(spender, beneficiary, amount)
-        self.submit_payment(payment)
+        """Create and inject a payment at the spender's representative.
+
+        Equivalent to ``submit_payment(make_payment(...))`` with the
+        intermediate calls inlined — load drivers call this once per
+        injected payment.
+        """
+        seqs = self._next_seq
+        seq = seqs.get(spender, 0) + 1
+        seqs[spender] = seq
+        payment = Payment(
+            spender, seq, beneficiary, amount, submitted_at=self.sim.now
+        )
+        replica = self._rep_replica.get(spender)
+        if replica is None:
+            replica = self._rep_replica[spender] = self._replica_by_node[
+                self._rep_map[spender]
+            ]
+        replica.submit_local(payment)
         return payment
 
     def submit_payment(self, payment: Payment) -> None:
@@ -123,6 +144,14 @@ class _AstroSystemBase:
         """Observe settlements at each spender's representative."""
         for replica in self.replicas:
             replica.confirm_hooks.append(hook)
+
+    def remove_confirm_hook(self, hook: Callable[[Payment, float], None]) -> None:
+        """Detach a hook added by :meth:`add_confirm_hook` (idempotent)."""
+        for replica in self.replicas:
+            try:
+                replica.confirm_hooks.remove(hook)
+            except ValueError:
+                pass
 
     def settle_all(self, max_events: int = 50_000_000) -> None:
         """Run the simulation until no events remain (quiescence)."""

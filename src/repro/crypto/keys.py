@@ -13,13 +13,19 @@ property every protocol proof relies on.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Dict, Hashable
 
 __all__ = ["KeyPair", "Keychain", "CryptoError", "replica_owner", "client_owner"]
 
 
+@lru_cache(maxsize=None)
 def replica_owner(node_id: int) -> tuple:
-    """Canonical key-owner identity for a replica node."""
+    """Canonical key-owner identity for a replica node.
+
+    Memoized: the identity tuple is requested once per signed message on
+    hot paths, and the replica-id population is small and fixed.
+    """
     return ("replica", node_id)
 
 

@@ -5,6 +5,19 @@ calendar-queue engine: callbacks are scheduled at absolute simulated times
 and executed in timestamp order.  Determinism is guaranteed by breaking
 timestamp ties with a monotonically increasing sequence number, so two runs
 with the same seed produce identical histories.
+
+Two scheduling paths share one calendar queue:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle that supports :meth:`Event.cancel` (lazy deletion);
+* :meth:`Simulator.call_after` / :meth:`Simulator.call_at` are the **fast
+  path** for the dominant schedule-deliver-execute cycle: the callback is
+  stored directly in the heap entry, so no per-event ``Event`` object is
+  allocated.  Use them wherever cancellation is never needed (network
+  deliveries, resource-server completions, driver ticks).
+
+Both paths allocate sequence numbers from the same counter, so mixing them
+preserves the global execution order.
 """
 
 from __future__ import annotations
@@ -13,6 +26,12 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Effectively-unbounded event budget (used when ``max_events`` is None).
+_NO_LIMIT = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -66,9 +85,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        # Heap entries are (time, seq, event) tuples: tuple comparison is
-        # C-level and never reaches the Event object, which keeps the hot
-        # loop an order of magnitude cheaper than comparing rich objects.
+        # Heap entries are (time, seq, fn, args) tuples; cancellable events
+        # are stored as (time, seq, None, event).  Tuple comparison is
+        # C-level and — because seq is unique — never reaches the third
+        # element, which keeps the hot loop an order of magnitude cheaper
+        # than comparing rich objects.
         self._heap: List[tuple] = []
         self._seq: int = 0
         self._running: bool = False
@@ -78,14 +99,19 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        Returns a cancellable :class:`Event` handle; prefer
+        :meth:`call_at` when cancellation is never needed.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now={self.now}"
             )
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, (time, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args)
+        _heappush(self._heap, (time, seq, None, event))
         return event
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -93,6 +119,29 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.schedule_at(self.now + delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast path: schedule a non-cancellable ``fn(*args)`` at ``time``.
+
+        No :class:`Event` object is allocated; the callback lives directly
+        in the calendar-queue entry.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, seq, fn, args))
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fast path: schedule a non-cancellable ``fn(*args)`` after ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, seq, fn, args))
 
     # ------------------------------------------------------------------
     # Execution
@@ -115,19 +164,32 @@ class Simulator:
         self._running = True
         executed = 0
         heap = self._heap
-        pop = heapq.heappop
+        pop = _heappop
+        # Normalizing the stop conditions to sentinel values keeps the
+        # per-event loop free of None checks; the comparisons below have
+        # identical semantics (nothing exceeds +inf, nothing reaches
+        # maxsize) to the optional parameters.
+        horizon = float("inf") if until is None else until
+        limit = _NO_LIMIT if max_events is None else max_events
         try:
             while heap:
-                time = heap[0][0]
-                if until is not None and time > until:
+                entry = heap[0]
+                time = entry[0]
+                if time > horizon:
                     break
-                event = pop(heap)[2]
-                if event.cancelled:
-                    continue
-                self.now = time
-                event.fn(*event.args)
+                pop(heap)
+                fn = entry[2]
+                if fn is None:
+                    event = entry[3]
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    event.fn(*event.args)
+                else:
+                    self.now = time
+                    fn(*entry[3])
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= limit:
                     break
         finally:
             self._running = False

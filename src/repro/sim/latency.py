@@ -100,6 +100,8 @@ class RegionLatency(LatencyModel):
         self.intra_delay = intra_delay
         self.jitter = jitter
         self._rng = random.Random(seed)
+        #: Bound method cached for the per-message sampling hot path.
+        self._uniform = self._rng.uniform
         self._delays: Dict[Tuple[str, str], float] = {}
         for (a, b), delay in pair_delays.items():
             self._delays[(a, b)] = delay
@@ -116,11 +118,19 @@ class RegionLatency(LatencyModel):
         return self._delays[(region_a, region_b)]
 
     def sample(self, src: int, dst: int) -> float:
-        base = self.base_delay(src, dst)
-        if self.jitter <= 0:
+        # Inlined region_of/base_delay: one sample per simulated message.
+        assignment = self.assignment
+        count = len(assignment)
+        region_a = assignment[src % count]
+        region_b = assignment[dst % count]
+        if region_a == region_b:
+            base = self.intra_delay
+        else:
+            base = self._delays[(region_a, region_b)]
+        jitter = self.jitter
+        if jitter <= 0:
             return base
-        factor = 1.0 + self._rng.uniform(-self.jitter, self.jitter)
-        return base * factor
+        return base * (1.0 + self._uniform(-jitter, jitter))
 
     def expected(self, src: int, dst: int) -> float:
         return self.base_delay(src, dst)

@@ -17,7 +17,8 @@ in which a message to a dead host is simply never delivered.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+from heapq import heappush as _heappush
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from .events import Simulator
 from .latency import ConstantLatency, LatencyModel
@@ -165,9 +166,72 @@ class Network:
         extra = self._egress_delay.get(src)
         if extra:
             delay += extra
-        self.sim.schedule_at(
+        self.sim.call_at(
             serialized_at + delay, self._arrive, src, dst, payload, recv_cost
         )
+
+    def broadcast(
+        self,
+        src: int,
+        dsts: Sequence[int],
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+    ) -> None:
+        """Send one ``payload`` from ``src`` to every node in ``dsts``.
+
+        Exactly equivalent to calling :meth:`send` once per destination in
+        order — same per-copy NIC serialization chain, same latency-model
+        draws, same event ordering — but with the per-copy bookkeeping
+        (stats, fault lookups, link attribute chasing) hoisted out of the
+        loop.  This is the hot path of every quorum protocol's all-to-all
+        phases.  ``dsts`` must not contain ``src`` (loopback handling
+        belongs to :meth:`send`).
+        """
+        if src in self._crashed:
+            return
+        src_node = self.nodes.get(src)
+        if src_node is None:
+            raise ValueError(f"unknown source node {src}")
+        stats = self.stats
+        copies = len(dsts)
+        stats.messages_sent += copies
+        stats.bytes_sent += size * copies
+        if stats.track_kinds:
+            kind = type(payload).__name__
+            stats.by_kind[kind] = stats.by_kind.get(kind, 0) + copies
+        link = src_node.link
+        per = (size / link.bandwidth) / link.rate
+        busy = link._busy_until
+        now = self.sim.now
+        if busy < now:
+            busy = now
+        transmitted = 0
+        sample = self.latency.sample
+        extra = self._egress_delay.get(src)
+        blocked = self._blocked
+        sim = self.sim
+        heap = sim._heap
+        arrive = self._arrive
+        for dst in dsts:
+            if blocked and (src, dst) in blocked:
+                stats.messages_dropped += 1
+                continue
+            busy += per
+            transmitted += 1
+            delay = sample(src, dst)
+            if extra:
+                delay += extra
+            # Inlined sim.call_at (arrival times are never in the past).
+            seq = sim._seq
+            sim._seq = seq + 1
+            _heappush(
+                heap, (busy + delay, seq, arrive, (src, dst, payload, recv_cost))
+            )
+        if transmitted:
+            link._busy_until = busy
+            link.busy_time += per * transmitted
+            link.jobs_served += transmitted
 
     def _arrive(
         self, src: int, dst: int, payload: Any, recv_cost: Optional[float]
@@ -185,7 +249,12 @@ class Network:
             self.stats.messages_dropped += 1
             return
         self.stats.messages_delivered += 1
-        node.on_message(src, payload)
+        # Inlined Node.on_message — one dispatch per delivered message.
+        handler = node._handlers.get(payload.__class__)
+        if handler is None:
+            node.handle_unknown(src, payload)
+        else:
+            handler(src, payload)
 
     def deliver_direct(self, src: int, dst: int, payload: Any) -> None:
         """Logical delivery without the resource pipeline (tests only)."""

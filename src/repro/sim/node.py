@@ -8,7 +8,7 @@ touches the event queue directly; it sends messages and sets timers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional, Type
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Type
 
 from .events import Event, Simulator
 from .network import Network
@@ -41,6 +41,10 @@ class Node:
         self.cpu = CpuServer(sim, name=f"cpu[{node_id}]", cores=cores)
         self.link = LinkServer(sim, name=f"nic[{node_id}]", bandwidth=bandwidth)
         self._handlers: Dict[Type[Any], Callable[[int, Any], None]] = {}
+        # The network's crashed-node set is mutated in place, never
+        # replaced, so caching the reference makes ``alive`` a single set
+        # containment test (it is consulted per payment on hot paths).
+        self._crashed_ref = network._crashed
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -92,6 +96,29 @@ class Node:
                 continue
             self.send(dst, payload, size=size, recv_cost=recv_cost, send_cost=send_cost)
 
+    def broadcast(
+        self,
+        targets: Sequence[int],
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+    ) -> None:
+        """Fan ``payload`` out to ``targets`` (which must exclude us).
+
+        Equivalent to calling :meth:`send` per target, with the per-copy
+        overhead hoisted into :meth:`Network.broadcast`.  Send-side CPU is
+        still charged one occupancy per copy so completion times stay
+        identical to the per-send path.
+        """
+        if send_cost:
+            occupy = self.cpu.occupy
+            for _ in targets:
+                occupy(send_cost)
+        self.network.broadcast(
+            self.node_id, targets, payload, size=size, recv_cost=recv_cost
+        )
+
     # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
@@ -108,7 +135,7 @@ class Node:
     # ------------------------------------------------------------------
     @property
     def alive(self) -> bool:
-        return not self.network.is_crashed(self.node_id)
+        return self.node_id not in self._crashed_ref
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} id={self.node_id}>"

@@ -57,20 +57,24 @@ class OpenLoopDriver:
         system.sim.schedule_at(start, self._tick_fn)
 
     def _tick_fn(self) -> None:
-        now = self.system.sim.now
+        system = self.system
+        now = system.sim.now
         if now >= self.end:
             return
         self._carry += self.rate * self.tick
         count = int(self._carry)
         self._carry -= count
+        next_op = self.workload.next
+        submit = system.submit
+        injected = 0
         for _ in range(count):
-            operation = self.workload.next()
+            operation = next_op()
             if operation is None:
                 continue  # read-only op (e.g. Smallbank Balance)
-            spender, beneficiary, amount = operation
-            self.system.submit(spender, beneficiary, amount)
-            self.injected += 1
-        self.system.sim.schedule(self.tick, self._tick_fn)
+            submit(*operation)
+            injected += 1
+        self.injected += injected
+        system.sim.call_after(self.tick, self._tick_fn)
 
     def _on_confirm(self, payment: Payment, settled_at: float) -> None:
         self.confirmed += 1

@@ -37,25 +37,35 @@ class UniformWorkload:
         if len(clients) < 2:
             raise ValueError("need at least two clients to transfer between")
         self.clients: List[ClientId] = list(clients)
-        self._rng = random.Random(seed)
+        #: Drawing indices as ``int(random() * n)`` costs one C-level call
+        #: per draw; ``choice``/``randint`` go through Python-level
+        #: rejection sampling, which showed up in workload-bound profiles.
+        self._random = random.Random(seed).random
         self.min_amount = min_amount
         self.max_amount = max_amount
+        self._amount_span = max_amount - min_amount + 1
         self._cursor = 0
 
     def next(self) -> Tuple[ClientId, ClientId, int]:
         """Next payment: round-robin spender, random beneficiary/amount."""
-        spender = self.clients[self._cursor]
-        self._cursor = (self._cursor + 1) % len(self.clients)
+        clients = self.clients
+        count = len(clients)
+        spender = clients[self._cursor]
+        self._cursor = (self._cursor + 1) % count
+        rand = self._random
         beneficiary = spender
         while beneficiary == spender:
-            beneficiary = self._rng.choice(self.clients)
-        amount = self._rng.randint(self.min_amount, self.max_amount)
+            beneficiary = clients[int(rand() * count)]
+        amount = self.min_amount + int(rand() * self._amount_span)
         return spender, beneficiary, amount
 
     def next_for(self, spender: ClientId) -> Tuple[ClientId, ClientId, int]:
         """Next payment for a fixed spender (closed-loop clients)."""
+        clients = self.clients
+        count = len(clients)
+        rand = self._random
         beneficiary = spender
         while beneficiary == spender:
-            beneficiary = self._rng.choice(self.clients)
-        amount = self._rng.randint(self.min_amount, self.max_amount)
+            beneficiary = clients[int(rand() * count)]
+        amount = self.min_amount + int(rand() * self._amount_span)
         return spender, beneficiary, amount

@@ -54,6 +54,7 @@ class TestRunner:
 
 
 class TestPeak:
+    @pytest.mark.slow
     def test_peak_found_between_bounds(self):
         factory = functools.partial(build_astro2, 4, seed=3)
         result = find_peak(
@@ -63,6 +64,7 @@ class TestPeak:
         assert 2000 < result.peak_pps < 1_000_000
         assert len(result.probes) >= 2
 
+    @pytest.mark.slow
     def test_walk_down_from_oversaturated_start(self):
         factory = functools.partial(build_bft, 4, seed=3)
         result = find_peak(
@@ -70,6 +72,24 @@ class TestPeak:
             refine_steps=1,
         )
         assert result.peak_pps < 400_000
+
+    def test_probe_cap_bounds_search_cost(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=2000, duration=0.4, warmup=0.3,
+            refine_steps=3, max_probes=3, payment_budget=10_000,
+        )
+        assert len(result.probes) <= 3
+
+    def test_reuse_state_matches_fresh_probe_shape(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=2000, duration=0.4, warmup=0.3,
+            refine_steps=1, max_probes=4, payment_budget=10_000,
+            reuse_state=True,
+        )
+        assert result.peak_pps > 2000
+        assert len(result.probes) <= 4
 
 
 class TestTimeline:

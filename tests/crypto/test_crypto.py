@@ -1,8 +1,9 @@
 """Unit tests for the simulated cryptography substrate."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
+from repro.core.payment import Payment
 from repro.crypto import (
     CryptoError,
     Keychain,
@@ -51,9 +52,36 @@ class TestDigest:
     def test_different_content_different_digest(self):
         assert digest(("pay", 1)) != digest(("pay", 2))
 
+    # Kept deliberately small: before digests were memoized this property
+    # re-canonicalized a pathological nested structure on every example
+    # and took ~5s on its own; 25 examples of a flat tuple cover the
+    # determinism claim just as well.
+    @settings(max_examples=25, deadline=None)
     @given(st.tuples(st.integers(), st.text(), st.booleans()))
     def test_digest_deterministic(self, value):
         assert digest(value) == digest(value)
+
+    def test_nested_structure_deterministic(self):
+        value = {"k": [1, (2, 3)], "s": frozenset({4, 5}), "b": b"x"}
+        assert digest(value) == digest(value)
+
+    def test_second_digest_of_same_message_hits_cache(self, monkeypatch):
+        """Memoization regression: digesting a message object twice must
+        answer from the per-object cache, not re-canonicalize."""
+        payment = Payment("alice", 1, "bob", 5)
+        first = digest(payment)
+        monkeypatch.setattr(
+            Payment,
+            "canonical",
+            lambda self: pytest.fail("cache miss: canonical() recomputed"),
+        )
+        assert digest(payment) == first
+
+    def test_equal_payments_equal_digest_across_objects(self):
+        a = Payment("alice", 1, "bob", 5)
+        b = Payment("alice", 1, "bob", 5)
+        assert digest(a) == digest(b)
+        assert digest(a) != digest(Payment("alice", 1, "bob", 6))
 
 
 class TestSignatures:

@@ -2,7 +2,20 @@
 
 The simulator's core promise — every experiment is reproducible from its
 seed — checked end-to-end through each full system.
+
+Two layers of guarantee:
+
+* run-to-run: two runs with the same seed in this process are identical;
+* engine-vs-seed: the optimized engine (memoized digests, Event-free
+  fast scheduling path, broadcast fan-out, inlined settle loops) produces
+  **byte-identical histories** to the original unoptimized seed
+  implementation.  The ``SEED_GOLDEN`` constants below were captured by
+  running the seed engine (commit d6978f1) on these exact scenarios; the
+  simulated clock is compared via ``float.hex`` so even one reordered or
+  re-associated floating-point operation in the hot path fails the test.
 """
+
+import hashlib
 
 from repro.consensus.system import BftSystem
 from repro.core.system import Astro1System, Astro2System
@@ -10,6 +23,37 @@ from repro.core.system import Astro1System, Astro2System
 GENESIS = {"a": 1000, "b": 1000, "c": 1000, "d": 1000}
 
 WORKLOAD = [("a", "b", 3), ("b", "c", 5), ("c", "d", 7), ("d", "a", 2)] * 5
+
+#: Histories of the seed engine: (now.hex(), events_executed,
+#: settled_counts, sha256 of replica 0's state snapshot repr).
+SEED_GOLDEN = {
+    "astro1_seed123": (
+        "0x1.44cc55d2d9355p-4",
+        220,
+        (20, 20, 20, 20),
+        "c42b5b16ee42ac22dfd3f84a4bb169ce69e947dfde41e93b15ddd13095369e99",
+    ),
+    "astro2_seed456": (
+        "0x1.59ccb19e897f9p-4",
+        100,
+        (20, 20, 20, 20),
+        "1a698c3151a59f1a2d5e8023b91b015cf44a6d34950f5951d2268ba1d8c9da00",
+    ),
+    "astro2_sharded_seed789": (
+        "0x1.70d1790001114p-4",
+        108,
+        (10, 10, 10, 10, 10, 10, 10, 10),
+        "fdeaae19ac9222631d73ef89325aff7f67d32ddfee197423635d5ce0ed9fde7e",
+    ),
+    "bft_seed321": (
+        (20, 20, 20, 20),
+        "c42b5b16ee42ac22dfd3f84a4bb169ce69e947dfde41e93b15ddd13095369e99",
+    ),
+}
+
+
+def _fingerprint(snapshot) -> str:
+    return hashlib.sha256(repr(snapshot).encode()).hexdigest()
 
 
 def run_astro1(seed):
@@ -65,6 +109,31 @@ def test_astro2_sharded_bitwise_reproducible():
 
 def test_bft_bitwise_reproducible():
     assert run_bft(321) == run_bft(321)
+
+
+def _golden_form(history):
+    now, events, settled, snapshot = history
+    return (now.hex(), events, settled, _fingerprint(snapshot))
+
+
+def test_astro1_history_identical_to_seed_engine():
+    assert _golden_form(run_astro1(123)) == SEED_GOLDEN["astro1_seed123"]
+
+
+def test_astro2_history_identical_to_seed_engine():
+    assert _golden_form(run_astro2(456)) == SEED_GOLDEN["astro2_seed456"]
+
+
+def test_astro2_sharded_history_identical_to_seed_engine():
+    assert (
+        _golden_form(run_astro2(789, shards=2))
+        == SEED_GOLDEN["astro2_sharded_seed789"]
+    )
+
+
+def test_bft_history_identical_to_seed_engine():
+    settled, snapshot = run_bft(321)
+    assert (settled, _fingerprint(snapshot)) == SEED_GOLDEN["bft_seed321"]
 
 
 def test_different_seeds_differ_in_timing():
