@@ -3,18 +3,71 @@
 Each benchmark regenerates one table or figure of the paper (DESIGN.md §3
 maps experiment ids to modules).  ``REPRO_BENCH_SCALE`` ∈ {smoke, quick,
 full} controls problem sizes; the default (quick) finishes on a laptop.
+``REPRO_BENCH_JOBS`` selects the sweep execution backend (serial by
+default; an integer > 1 fans independent scenario jobs across a process
+pool with byte-identical results).
 
 Benchmarks print the reproduced rows/series to stdout — run with ``-s``
 (or read the captured output) to see the paper-style tables.
+
+At session end the per-sweep wall-clock log collected by
+``repro.bench.parallel`` is written to ``BENCH_sweeps.json`` (override
+with ``REPRO_SWEEPS_JSON``) and, when ``BENCH_perf.json`` exists, merged
+into it under ``"sweeps"`` — the harness's own speed is part of the
+tracked perf trajectory.
 """
+
+import json
+import os
+import time
 
 import pytest
 
+from repro.bench.parallel import resolve_jobs, sweep_report
 from repro.bench.scale import current_scale
+
+_session_started_at = 0.0
 
 
 @pytest.fixture(scope="session")
 def scale():
     active = current_scale()
-    print(f"\n[repro] benchmark scale: {active.name}")
+    print(f"\n[repro] benchmark scale: {active.name}, "
+          f"jobs: {resolve_jobs()}")
     return active
+
+
+def pytest_sessionstart(session):
+    global _session_started_at
+    _session_started_at = time.time()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    sweeps = sweep_report()
+    if not sweeps:
+        return
+    report = {
+        "bench_scale": current_scale().name,
+        "jobs": resolve_jobs(),
+        "total_sweep_seconds": round(sum(s["seconds"] for s in sweeps), 3),
+        "sweeps": sweeps,
+    }
+    path = os.environ.get("REPRO_SWEEPS_JSON", "BENCH_sweeps.json")
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    perf_path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
+    try:
+        # Merge only into a perf report written by *this* session: a stale
+        # BENCH_perf.json from an earlier run (the perf test may have been
+        # deselected) must not be paired with today's sweep timings.
+        if os.path.getmtime(perf_path) < _session_started_at:
+            return
+        with open(perf_path) as fh:
+            perf = json.load(fh)
+    except (OSError, ValueError):
+        return
+    perf["sweeps"] = report
+    with open(perf_path, "w") as fh:
+        json.dump(perf, fh, indent=2)
+        fh.write("\n")

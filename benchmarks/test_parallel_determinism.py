@@ -1,0 +1,32 @@
+"""Backend determinism: the process pool must not change a single bit.
+
+Runs the smoke-scale Fig. 3 sweep twice — once on the serial backend,
+once on a two-worker process pool — and asserts the results are
+byte-identical (`repr` equality, which for floats means exact bit
+equality).  This is the guarantee that makes ``REPRO_BENCH_JOBS`` safe to
+set anywhere: parallelism changes wall-clock time, never results.
+
+Runs at smoke scale regardless of ``REPRO_BENCH_SCALE`` so its cost stays
+bounded inside the quick/full suites.
+"""
+
+from repro.bench.fig3 import run_fig3
+from repro.bench.scale import _SCALES
+
+
+def test_fig3_parallel_backend_is_byte_identical(benchmark, scale):
+    smoke = _SCALES["smoke"]
+    serial = benchmark.pedantic(
+        lambda: run_fig3(scale=smoke, seed=0, jobs=1), rounds=1, iterations=1
+    )
+    parallel = run_fig3(scale=smoke, seed=0, jobs=2)
+
+    assert serial.sizes == parallel.sizes
+    assert list(serial.peaks) == list(parallel.peaks)
+    for name in serial.peaks:
+        assert serial.peaks[name] == parallel.peaks[name], (
+            f"{name}: serial {serial.peaks[name]} != "
+            f"parallel {parallel.peaks[name]}"
+        )
+    assert repr(serial.peaks) == repr(parallel.peaks)
+    assert serial.table() == parallel.table()

@@ -12,10 +12,18 @@ itself) timed on both machines.  The asserted floor is deliberately set
 below the locally measured speedup to absorb CI timer noise; the exact
 multiple achieved is printed and written to ``BENCH_perf.json``.
 
+``test_parallel_sweep_speedup`` guards the other axis of harness speed:
+scenario-level parallelism (``repro.bench.parallel``).  It runs the same
+independent peak-search jobs on the serial backend and on a two-worker
+process pool, asserts byte-identical results, and asserts the pool is
+measurably faster wall-clock (skipped on single-core machines, where a
+process pool cannot beat serial execution).
+
 Override knobs (environment):
 
 * ``REPRO_PERF_MIN_SPEEDUP`` — assertion floor (default 1.6).
 * ``REPRO_PERF_JSON`` — output path (default ``BENCH_perf.json``).
+* ``REPRO_PAR_MIN_SPEEDUP`` — parallel-sweep floor (default 1.25).
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ import json
 import os
 import time
 
+import pytest
+
+from repro.bench.parallel import ScenarioJob, derive_seed, execute, usable_cpus
 from repro.bench.profile import (
     DEFAULT_DURATION,
     DEFAULT_NUM_REPLICAS,
@@ -123,3 +134,54 @@ def test_perf_regression(scale):
     )
     # The engine must also beat the seed on this machine in absolute terms.
     assert best_pps > expected_seed_pps
+
+
+def test_parallel_sweep_speedup(scale):
+    """The process-pool backend must beat serial on >= 2 cores — with
+    byte-identical results (the determinism guarantee of the job model)."""
+    cores = usable_cpus()
+    if cores < 2:
+        pytest.skip(f"needs >= 2 cores for a parallel speedup (have {cores})")
+
+    # Four independent peak searches — the shape of one Fig. 3 sweep
+    # column — with per-job seeds spawned from the jobs' identity keys.
+    units = [
+        ScenarioJob(
+            kind="find_peak",
+            params=dict(
+                system="astro2", size=4, start_rate=4000.0,
+                duration=0.5, warmup=0.3, refine_steps=1,
+                payment_budget=8000, max_probes=4, reuse_state=True,
+            ),
+            seed=derive_seed(DEFAULT_SEED, "parallel-speedup", index),
+            tag=index,
+        )
+        for index in range(4)
+    ]
+
+    start = time.perf_counter()
+    serial = execute(units, jobs=1, label="speedup-check-serial")
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = execute(units, jobs=2, label="speedup-check-parallel")
+    parallel_seconds = time.perf_counter() - start
+
+    # Determinism first: worker count must not change a single bit.
+    assert [r.peak_pps for r in serial] == [r.peak_pps for r in parallel]
+    assert [repr(p) for r in serial for p in r.probes] == [
+        repr(p) for r in parallel for p in r.probes
+    ]
+
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\n[perf] parallel sweep: serial {serial_seconds:.2f}s vs "
+        f"2-worker pool {parallel_seconds:.2f}s = {speedup:.2f}x "
+        f"({cores} cores)"
+    )
+    # Calibrated floor: 2 workers on >= 2 cores should approach 2x; the
+    # default floor absorbs pool startup and CI scheduling noise.
+    min_speedup = float(os.environ.get("REPRO_PAR_MIN_SPEEDUP", "1.25"))
+    assert speedup >= min_speedup, (
+        f"parallel sweep not faster: serial {serial_seconds:.2f}s, "
+        f"parallel {parallel_seconds:.2f}s ({speedup:.2f}x < {min_speedup}x)"
+    )

@@ -3,7 +3,10 @@
 Each experiment module reproduces one element of the paper's evaluation
 (see DESIGN.md §3 for the index) and prints the same rows/series the
 paper reports.  ``repro.bench.scale`` controls problem sizes
-(``REPRO_BENCH_SCALE`` ∈ smoke/quick/full).
+(``REPRO_BENCH_SCALE`` ∈ smoke/quick/full); ``repro.bench.parallel``
+fans the independent cells of each sweep across a process pool
+(``REPRO_BENCH_JOBS``, default serial) with deterministic, submission-
+order results.
 """
 
 from .ablations import (
@@ -15,6 +18,16 @@ from .ablations import (
 from .fig3 import Fig3Result, run_fig3
 from .fig4 import Fig4Result, run_fig4
 from .fig8 import Fig8Result, measure_astro_join_series, run_fig8
+from .parallel import (
+    ScenarioJob,
+    ScenarioPipeline,
+    SweepTiming,
+    derive_seed,
+    execute,
+    resolve_jobs,
+    reset_sweep_log,
+    sweep_report,
+)
 from .peak import PeakResult, find_peak
 from .report import format_series, format_table, kilo, print_table
 from .robustness import (
@@ -41,6 +54,14 @@ __all__ = [
     "Fig8Result",
     "measure_astro_join_series",
     "run_fig8",
+    "ScenarioJob",
+    "ScenarioPipeline",
+    "SweepTiming",
+    "derive_seed",
+    "execute",
+    "resolve_jobs",
+    "reset_sweep_log",
+    "sweep_report",
     "PeakResult",
     "find_peak",
     "format_series",

@@ -7,20 +7,20 @@
 * **Message complexity (§IV-A)** — Astro I's BRB is O(N²) messages,
   Astro II's O(N).  The ablation counts actual wire messages per settled
   payment at several sizes.
+
+Both sweeps are embarrassingly parallel: every batch size (and every
+(system, size) cell) is an independent job on the parallel backend.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.config import AstroConfig
-from .peak import find_peak
+from .parallel import ScenarioJob, execute
 from .report import format_table
-from .runner import run_open_loop
 from .scale import BenchScale, current_scale
-from .systems import build_astro1, build_astro2
 
 __all__ = [
     "BatchingAblation",
@@ -52,26 +52,38 @@ def run_batching_ablation(
     batch_sizes: Sequence[int] = (1, 16, 64, 256),
     seed: int = 0,
     scale: Optional[BenchScale] = None,
+    jobs: Optional[int] = None,
 ) -> BatchingAblation:
     if scale is None:
         scale = current_scale()
-    peaks: List[float] = []
-    for batch in batch_sizes:
-        config = AstroConfig(num_replicas=size, batch_size=batch)
-        factory = functools.partial(build_astro2, size, seed=seed, config=config)
-        result = find_peak(
-            factory,
-            start_rate=max(200.0, 20.0 * batch),
-            duration=scale.peak_duration,
-            warmup=scale.peak_warmup,
-            refine_steps=2,
+    units = [
+        ScenarioJob(
+            kind="find_peak",
+            params=dict(
+                system="astro2",
+                size=size,
+                start_rate=max(200.0, 20.0 * batch),
+                duration=scale.peak_duration,
+                warmup=scale.peak_warmup,
+                refine_steps=2,
+                payment_budget=scale.peak_payment_budget,
+                max_probes=scale.peak_probe_cap,
+                reuse_state=scale.peak_reuse_state,
+                builder_kwargs=dict(
+                    config=AstroConfig(num_replicas=size, batch_size=batch)
+                ),
+            ),
             seed=seed,
-            payment_budget=scale.peak_payment_budget,
-            max_probes=scale.peak_probe_cap,
-            reuse_state=scale.peak_reuse_state,
+            tag=batch,
         )
-        peaks.append(result.peak_pps)
-    return BatchingAblation(size=size, batch_sizes=list(batch_sizes), peaks=peaks)
+        for batch in batch_sizes
+    ]
+    results = execute(units, jobs=jobs, label=f"ablation_batching[{scale.name}]")
+    return BatchingAblation(
+        size=size,
+        batch_sizes=list(batch_sizes),
+        peaks=[result.peak_pps for result in results],
+    )
 
 
 @dataclass
@@ -99,18 +111,26 @@ def run_message_complexity_ablation(
     sizes: Sequence[int] = (4, 10, 22, 46),
     rate: float = 2000.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> MessageComplexityAblation:
+    units = [
+        ScenarioJob(
+            kind="open_loop_messages",
+            params=dict(
+                system=name, size=size, rate=rate, duration=1.0, warmup=0.5
+            ),
+            seed=seed,
+            tag=(name, size),
+        )
+        for size in sizes
+        for name in ("astro1", "astro2")
+    ]
+    results = execute(units, jobs=jobs, label="ablation_messages")
     messages: Dict[str, List[float]] = {"astro1": [], "astro2": []}
-    for size in sizes:
-        for name, builder in (("astro1", build_astro1), ("astro2", build_astro2)):
-            system = builder(size, seed=seed)
-            before = system.network.stats.messages_sent
-            result = run_open_loop(
-                system, rate=rate, duration=1.0, warmup=0.5, seed=seed
-            )
-            sent = system.network.stats.messages_sent - before
-            settled = max(result.confirmed, 1)
-            messages[name].append(sent / settled)
+    for unit, (result, sent) in zip(units, results):
+        name, _size = unit.tag
+        settled = max(result.confirmed, 1)
+        messages[name].append(sent / settled)
     return MessageComplexityAblation(
         sizes=list(sizes), messages_per_payment=messages
     )

@@ -7,25 +7,28 @@ Paper anchors (single shard, EU WAN, batch 256):
 
 The reproduced claims: broadcast beats consensus at every size, Astro II
 beats Astro I, and all three decay with N (quorum systems).
+
+Execution model: one :class:`~repro.bench.parallel.ScenarioPipeline` per
+system — the sizes within a pipeline run in order because each size's
+peak search warm-starts from the previous size's peak, while the three
+systems' pipelines have no dependency and run concurrently on the
+parallel backend (``REPRO_BENCH_JOBS``).
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .peak import PeakResult, find_peak
+from .parallel import ScenarioJob, ScenarioPipeline, execute
 from .report import format_table, kilo
 from .scale import BenchScale, current_scale
-from .systems import build_astro1, build_astro2, build_bft
 
 __all__ = ["Fig3Result", "run_fig3"]
 
 #: Initial search rates at the smallest size (subsequent sizes warm-start
-#: from the previous peak).
+#: from the previous peak via the ``fig3_warm_start`` carry rule).
 _START_RATES = {"bft": 2000.0, "astro1": 8000.0, "astro2": 24000.0}
-_BUILDERS = {"bft": build_bft, "astro1": build_astro1, "astro2": build_astro2}
 _LABELS = {
     "bft": "Consensus (BFT-SMaRt)",
     "astro1": "Astro I (echo BRB)",
@@ -39,12 +42,14 @@ class Fig3Result:
     peaks: Dict[str, List[float]]  # system -> peak pps per size
 
     def table(self) -> str:
-        headers = ["N"] + [_LABELS[name] for name in ("bft", "astro1", "astro2")]
+        # Iterate this result's own systems (run_fig3 may have measured a
+        # subset of the three), not a hard-coded tuple.
+        names = list(self.peaks)
+        headers = ["N"] + [_LABELS.get(name, name) for name in names]
         rows = []
         for index, size in enumerate(self.sizes):
             rows.append(
-                [size]
-                + [kilo(self.peaks[name][index]) for name in ("bft", "astro1", "astro2")]
+                [size] + [kilo(self.peaks[name][index]) for name in names]
             )
         return format_table(
             headers, rows,
@@ -55,32 +60,41 @@ class Fig3Result:
 def run_fig3(
     sizes: Sequence[int] = (),
     seed: int = 0,
-    scale: BenchScale = None,
+    scale: Optional[BenchScale] = None,
     systems: Sequence[str] = ("bft", "astro1", "astro2"),
+    jobs: Optional[int] = None,
 ) -> Fig3Result:
     if scale is None:
         scale = current_scale()
     sizes = list(sizes) if sizes else list(scale.fig3_sizes)
-    peaks: Dict[str, List[float]] = {name: [] for name in systems}
-    for size in sizes:
-        for name in systems:
-            factory = functools.partial(_BUILDERS[name], size, seed=seed)
-            # Warm start: peaks decay with N, so the previous size's peak
-            # puts the doubling search 1–2 probes from the answer.
-            if peaks[name]:
-                start = max(peaks[name][-1] * 0.5, 50.0)
-            else:
-                start = _START_RATES[name]
-            result = find_peak(
-                factory,
-                start_rate=start,
-                duration=scale.peak_duration,
-                warmup=scale.peak_warmup,
-                refine_steps=2,
-                seed=seed,
-                payment_budget=scale.peak_payment_budget,
-                max_probes=scale.peak_probe_cap,
-                reuse_state=scale.peak_reuse_state,
-            )
-            peaks[name].append(result.peak_pps)
+    pipelines = [
+        ScenarioPipeline(
+            jobs=tuple(
+                ScenarioJob(
+                    kind="find_peak",
+                    params=dict(
+                        system=name,
+                        size=size,
+                        start_rate=_START_RATES[name],
+                        duration=scale.peak_duration,
+                        warmup=scale.peak_warmup,
+                        refine_steps=2,
+                        payment_budget=scale.peak_payment_budget,
+                        max_probes=scale.peak_probe_cap,
+                        reuse_state=scale.peak_reuse_state,
+                    ),
+                    seed=seed,
+                    tag=(name, size),
+                )
+                for size in sizes
+            ),
+            carry="fig3_warm_start",
+        )
+        for name in systems
+    ]
+    results = execute(pipelines, jobs=jobs, label=f"fig3[{scale.name}]")
+    peaks: Dict[str, List[float]] = {
+        name: [peak.peak_pps for peak in series]
+        for name, series in zip(systems, results)
+    }
     return Fig3Result(sizes=sizes, peaks=peaks)

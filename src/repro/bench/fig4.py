@@ -6,23 +6,24 @@ average latency (p95 1.3–1.5 s) up to ≈334 pps; Astro I sits at
 load) up to ≈5K pps.  The reproduced claims: Astro II has the lowest and
 flattest latency curve, Astro I sits between, and each system's curve
 bends upward as it approaches its Fig. 3 saturation point.
+
+Execution model: one ``fig4_curve`` job per system (the sampled rates
+depend on that system's measured peak, so a curve is internally
+sequential); the three systems' curves run concurrently on the parallel
+backend.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from .peak import find_peak
+from .parallel import ScenarioJob, execute
 from .report import format_table
-from .runner import run_open_loop
 from .scale import BenchScale, current_scale
-from .systems import build_astro1, build_astro2, build_bft
 
 __all__ = ["Fig4Result", "run_fig4"]
 
-_BUILDERS = {"bft": build_bft, "astro1": build_astro1, "astro2": build_astro2}
 _START_RATES = {"bft": 400.0, "astro1": 2000.0, "astro2": 4000.0}
 
 
@@ -50,8 +51,9 @@ def run_fig4(
     size: int = 0,
     points: int = 0,
     seed: int = 0,
-    scale: BenchScale = None,
+    scale: Optional[BenchScale] = None,
     systems: Sequence[str] = ("bft", "astro1", "astro2"),
+    jobs: Optional[int] = None,
 ) -> Fig4Result:
     if scale is None:
         scale = current_scale()
@@ -59,32 +61,21 @@ def run_fig4(
         size = scale.fig4_size
     if points == 0:
         points = scale.fig4_rates_per_system
-    curves: Dict[str, List[Tuple[float, float, float]]] = {}
-    for name in systems:
-        factory = functools.partial(_BUILDERS[name], size, seed=seed)
-        peak = find_peak(
-            factory,
-            start_rate=_START_RATES[name],
-            duration=scale.peak_duration,
-            warmup=scale.peak_warmup,
-            refine_steps=2,
-            seed=seed,
-        )
-        curve: List[Tuple[float, float, float]] = []
-        for step in range(1, points + 1):
-            rate = peak.peak_pps * step / points
-            if rate < 1:
-                continue
-            result = run_open_loop(
-                factory(),
-                rate=rate,
+    units = [
+        ScenarioJob(
+            kind="fig4_curve",
+            params=dict(
+                system=name,
+                size=size,
+                points=points,
+                start_rate=_START_RATES[name],
                 duration=scale.peak_duration,
                 warmup=scale.peak_warmup,
-                seed=seed,
-            )
-            if result.latency.count:
-                curve.append(
-                    (result.achieved, result.latency.mean, result.latency.p95)
-                )
-        curves[name] = curve
-    return Fig4Result(size=size, curves=curves)
+            ),
+            seed=seed,
+            tag=name,
+        )
+        for name in systems
+    ]
+    results = execute(units, jobs=jobs, label=f"fig4[{scale.name}]")
+    return Fig4Result(size=size, curves=dict(zip(systems, results)))

@@ -12,12 +12,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto.keys import Keychain, replica_owner
-from ..reconfig.consensus_reconfig import measure_consensus_join_latency
 from ..reconfig.membership import ReconfigReplica
 from ..reconfig.views import View
 from ..sim.events import Simulator
 from ..sim.latency import europe_wan
 from ..sim.network import Network
+from .parallel import ScenarioJob, execute
 from .report import format_table
 from .scale import BenchScale, current_scale
 
@@ -101,13 +101,30 @@ def run_fig8(
     sizes: Sequence[int] = (),
     seed: int = 0,
     scale: Optional[BenchScale] = None,
+    jobs: Optional[int] = None,
 ) -> Fig8Result:
     if scale is None:
         scale = current_scale()
     sizes = list(sizes) if sizes else list(scale.fig8_sizes)
-    astro = measure_astro_join_series(sizes, seed=seed)
-    bft = [
-        measure_consensus_join_latency(size, state_bytes=STATE_BYTES, seed=seed)
+    # The Astro series grows one system through every size (inherently
+    # sequential: one job); each consensus join is independent.
+    units = [
+        ScenarioJob(
+            kind="astro_join_series",
+            params=dict(sizes=tuple(sizes), state_bytes=STATE_BYTES),
+            seed=seed,
+            tag="astro",
+        )
+    ] + [
+        ScenarioJob(
+            kind="consensus_join",
+            params=dict(size=size, state_bytes=STATE_BYTES),
+            seed=seed,
+            tag=("bft", size),
+        )
         for size in sizes
     ]
-    return Fig8Result(sizes=sizes, astro_latencies=astro, bft_latencies=bft)
+    results = execute(units, jobs=jobs, label=f"fig8[{scale.name}]")
+    return Fig8Result(
+        sizes=sizes, astro_latencies=results[0], bft_latencies=results[1:]
+    )

@@ -1,0 +1,292 @@
+"""Standard scenario executors for the parallel benchmark backend.
+
+Each executor rebuilds its simulator *inside the worker process* from a
+:class:`~repro.bench.parallel.ScenarioJob`'s picklable params, runs one
+self-contained measurement, and returns only small result objects
+(:class:`~repro.bench.runner.RunResult`,
+:class:`~repro.bench.peak.PeakResult`, tuples of floats).  Nothing
+heavyweight — no simulators, networks, or replicas — ever crosses the
+process boundary.
+
+The figure modules (``fig3``/``fig4``/``ablations``/``table1``/``fig8``/
+``robustness``) enumerate jobs against these kinds; the registrations
+here are imported by :func:`repro.bench.parallel.run_unit` in every
+worker, so job kinds resolve under both ``fork`` and ``spawn`` start
+methods.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..consensus.config import BftConfig
+from .parallel import ScenarioJob, register_carry, register_executor, replace_params
+from .peak import PeakResult, find_peak
+from .runner import RunResult, run_open_loop
+from .systems import SYSTEM_BUILDERS
+from .timeline import TimelineResult, run_timeline
+
+__all__ = []  # imported for registration side effects, not for names
+
+
+# ---------------------------------------------------------------------------
+# Peak searches (Fig. 3, Fig. 4's anchor, batching ablation)
+# ---------------------------------------------------------------------------
+
+
+def _system_factory(system: str, size: int, seed: int,
+                    builder_kwargs: Optional[Dict[str, Any]] = None):
+    builder = SYSTEM_BUILDERS[system]
+    return functools.partial(builder, size, seed=seed, **(builder_kwargs or {}))
+
+
+@register_executor("find_peak")
+def _exec_find_peak(
+    seed: int,
+    system: str,
+    size: int,
+    start_rate: float,
+    duration: float,
+    warmup: float,
+    refine_steps: int = 2,
+    payment_budget: int = 150_000,
+    max_probes: Optional[int] = None,
+    reuse_state: bool = False,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+) -> PeakResult:
+    """One whole peak-throughput search (internally adaptive = one job)."""
+    return find_peak(
+        _system_factory(system, size, seed, builder_kwargs),
+        start_rate=start_rate,
+        duration=duration,
+        warmup=warmup,
+        refine_steps=refine_steps,
+        seed=seed,
+        payment_budget=payment_budget,
+        max_probes=max_probes,
+        reuse_state=reuse_state,
+    )
+
+
+@register_carry("fig3_warm_start")
+def _carry_fig3_warm_start(previous: PeakResult, job: ScenarioJob) -> ScenarioJob:
+    """Warm start: peaks decay with N, so the previous size's peak puts
+    the next size's doubling search 1–2 probes from the answer."""
+    return replace_params(job, start_rate=max(previous.peak_pps * 0.5, 50.0))
+
+
+# ---------------------------------------------------------------------------
+# Open-loop runs with message accounting (message-complexity ablation)
+# ---------------------------------------------------------------------------
+
+
+@register_executor("open_loop_messages")
+def _exec_open_loop_messages(
+    seed: int,
+    system: str,
+    size: int,
+    rate: float,
+    duration: float,
+    warmup: float,
+) -> Tuple[RunResult, int]:
+    """Returns ``(RunResult, wire messages sent during the run)``."""
+    built = SYSTEM_BUILDERS[system](size, seed=seed)
+    before = built.network.stats.messages_sent
+    result = run_open_loop(
+        built, rate=rate, duration=duration, warmup=warmup, seed=seed
+    )
+    return result, built.network.stats.messages_sent - before
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 latency/throughput curves (peak anchor + sampled points)
+# ---------------------------------------------------------------------------
+
+
+@register_executor("fig4_curve")
+def _exec_fig4_curve(
+    seed: int,
+    system: str,
+    size: int,
+    points: int,
+    start_rate: float,
+    duration: float,
+    warmup: float,
+) -> List[Tuple[float, float, float]]:
+    """One system's whole curve: the sampled rates depend on the measured
+    peak, so the sweep is a single sequential job per system."""
+    factory = _system_factory(system, size, seed)
+    peak = find_peak(
+        factory,
+        start_rate=start_rate,
+        duration=duration,
+        warmup=warmup,
+        refine_steps=2,
+        seed=seed,
+    )
+    curve: List[Tuple[float, float, float]] = []
+    for step in range(1, points + 1):
+        rate = peak.peak_pps * step / points
+        if rate < 1:
+            continue
+        result = run_open_loop(
+            factory(), rate=rate, duration=duration, warmup=warmup, seed=seed
+        )
+        if result.latency.count:
+            curve.append(
+                (result.achieved, result.latency.mean, result.latency.p95)
+            )
+    return curve
+
+
+# ---------------------------------------------------------------------------
+# Robustness timelines (Figs. 5–7)
+# ---------------------------------------------------------------------------
+
+#: BftConfig overrides for the Fig. 6 leader-timeout variants.  The
+#: aggressive timeout must sit between healthy request latency (~40 ms)
+#: and latency under a 100 ms-slowed leader (~200 ms), so the slow leader
+#: is deposed but a healthy one never is (§VI-D's tuning trade-off).
+_BFT_VARIANTS: Dict[str, Dict[str, Any]] = {
+    "patient": {"request_timeout": 30.0},
+    "aggressive": {"request_timeout": 0.12, "timeout_check_interval": 0.05},
+}
+
+#: The paper's asynchrony injection: 100 ms on all outgoing packets.
+ASYNC_DELAY = 0.100
+
+
+def _build_timeline_system(system: str, variant: Optional[str], size: int,
+                           seed: int):
+    kwargs: Dict[str, Any] = {}
+    if variant is not None:
+        if system != "bft":
+            raise ValueError(f"config variant {variant!r} only applies to bft")
+        kwargs["config"] = BftConfig(num_replicas=size, **_BFT_VARIANTS[variant])
+    return SYSTEM_BUILDERS[system](size, seed=seed, **kwargs)
+
+
+def _random_victim(system: Any, num_clients: int) -> int:
+    """A non-leader replica representing exactly one active client.
+
+    Matches the paper's observation that crashing a random Astro replica
+    costs the throughput share of the clients it represented (~1 of 10).
+    """
+    index = min(num_clients, len(system.replicas)) - 1
+    return system.replicas[index].node_id
+
+
+def _fault_crash_leader(system: Any, at: float, num_clients: int) -> None:
+    system.faults.crash(system.replicas[0].node_id, at=at)
+
+
+def _fault_crash_random(system: Any, at: float, num_clients: int) -> None:
+    system.faults.crash(_random_victim(system, num_clients), at=at)
+
+
+def _fault_delay_leader(system: Any, at: float, num_clients: int) -> None:
+    system.faults.delay_egress(system.replicas[0].node_id, ASYNC_DELAY, at=at)
+
+
+def _fault_delay_random(system: Any, at: float, num_clients: int) -> None:
+    system.faults.delay_egress(
+        _random_victim(system, num_clients), ASYNC_DELAY, at=at
+    )
+
+
+_FAULTS = {
+    "crash_leader": _fault_crash_leader,
+    "crash_random": _fault_crash_random,
+    "delay_leader": _fault_delay_leader,
+    "delay_random": _fault_delay_random,
+}
+
+
+@register_executor("timeline")
+def _exec_timeline(
+    seed: int,
+    system: str,
+    size: int,
+    fault: Optional[str],
+    num_clients: int,
+    warmup: float,
+    window: float,
+    fault_offset: float,
+    variant: Optional[str] = None,
+) -> TimelineResult:
+    built = _build_timeline_system(system, variant, size, seed)
+    fault_fn = None
+    if fault is not None:
+        handler = _FAULTS[fault]
+        fault_fn = functools.partial(handler, num_clients=num_clients)
+    return run_timeline(
+        built,
+        num_clients=num_clients,
+        warmup=warmup,
+        window=window,
+        fault=fault_fn,
+        fault_offset=fault_offset,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I cells (sharded Smallbank + BFT upper bound)
+# ---------------------------------------------------------------------------
+
+
+@register_executor("table1_astro2")
+def _exec_table1_astro2(
+    seed: int,
+    shards: int,
+    shard_size: int,
+    delay_ms: float,
+    duration: float,
+    **knobs: Any,
+) -> Tuple[float, float, float]:
+    from .table1 import measure_astro2_cell
+
+    return measure_astro2_cell(
+        shards, shard_size, delay_ms, duration, seed, **knobs
+    )
+
+
+@register_executor("table1_bft")
+def _exec_table1_bft(
+    seed: int,
+    shard_size: int,
+    delay_ms: float,
+    duration: float,
+    **knobs: Any,
+) -> float:
+    from .table1 import measure_bft_upper_bound
+
+    return measure_bft_upper_bound(
+        shard_size, delay_ms, duration, seed, **knobs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 reconfiguration latencies
+# ---------------------------------------------------------------------------
+
+
+@register_executor("astro_join_series")
+def _exec_astro_join_series(
+    seed: int, sizes: Sequence[int], state_bytes: int
+) -> List[float]:
+    """The whole join series is one job: each join grows the same system,
+    so the sweep is inherently sequential."""
+    from .fig8 import measure_astro_join_series
+
+    return measure_astro_join_series(sizes, seed=seed, state_bytes=state_bytes)
+
+
+@register_executor("consensus_join")
+def _exec_consensus_join(seed: int, size: int, state_bytes: int) -> float:
+    from ..reconfig.consensus_reconfig import measure_consensus_join_latency
+
+    return measure_consensus_join_latency(
+        size, state_bytes=state_bytes, seed=seed
+    )

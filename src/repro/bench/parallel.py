@@ -1,0 +1,321 @@
+"""Scenario-level parallel execution for benchmark sweeps.
+
+The paper's evaluation is a grid of *independent* simulations — Fig. 3
+alone sweeps N=4..100 across three systems — yet a CPython event loop can
+only run one simulation per process.  This module turns each benchmark
+from "inline loop that builds systems and measures" into three phases:
+
+1. **enumerate** — the figure module describes every cell of its sweep as
+   a picklable :class:`ScenarioJob` (or an ordered
+   :class:`ScenarioPipeline` when cells feed each other, e.g. Fig. 3's
+   cross-size warm start);
+2. **execute** — :func:`execute` runs the descriptors on a backend:
+   in-process serial (the default, byte-for-byte identical to the old
+   inline loops) or a ``multiprocessing`` pool selected with the
+   ``REPRO_BENCH_JOBS`` environment variable / ``jobs=`` argument;
+3. **assemble** — results come back in submission order (never in
+   completion order), so the figure module rebuilds its tables exactly as
+   before.
+
+Only descriptors cross the process boundary on the way in, and only
+small result dataclasses (:class:`~repro.bench.runner.RunResult`,
+:class:`~repro.bench.peak.PeakResult`, plain tuples/floats) on the way
+out — workers rebuild simulators locally from the descriptor.
+
+Determinism is load-bearing (see README "Determinism"): every job carries
+its own explicit seed, fixed at *enumeration* time.  Jobs that need
+independent entropy derive it with :func:`derive_seed`, a pure function
+of ``(root seed, job key)`` — never from a shared RNG consumed in
+execution order — so results are identical regardless of worker count,
+scheduling, or completion order.  The figure enumerators pin the caller's
+seed on every cell (the paper's methodology measures each cell under the
+same conditions), which also keeps the serial backend's output identical
+to the pre-refactor inline loops.
+
+Every :func:`execute` call with a ``label`` records its wall-clock
+seconds into a process-global sweep log (:func:`sweep_report`); the
+benchmark suite writes the log next to ``BENCH_perf.json`` so the
+harness's own speed is part of the tracked perf trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ScenarioJob",
+    "ScenarioPipeline",
+    "SweepTiming",
+    "derive_seed",
+    "execute",
+    "register_carry",
+    "register_executor",
+    "replace_params",
+    "reset_sweep_log",
+    "resolve_jobs",
+    "run_unit",
+    "sweep_report",
+    "usable_cpus",
+]
+
+#: Environment variable selecting the backend: unset/"1" = serial (the
+#: default), an integer > 1 = process pool of that many workers,
+#: "auto"/"0" = one worker per available CPU.
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+
+# ---------------------------------------------------------------------------
+# Job descriptors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioJob:
+    """One independent simulation, described by picklable values only.
+
+    ``kind`` names an executor registered with :func:`register_executor`
+    (the standard benchmark executors live in :mod:`repro.bench.jobs`);
+    ``params`` are the executor's keyword arguments; ``seed`` is the
+    job's explicit entropy, fixed at enumeration time; ``tag`` is an
+    opaque label the enumerator uses to reassemble results (it is
+    returned untouched, never interpreted).
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    tag: Any = None
+
+
+@dataclass(frozen=True)
+class ScenarioPipeline:
+    """An ordered chain of jobs with a data dependency between stages.
+
+    Jobs run sequentially inside one worker; between stages the ``carry``
+    rule (registered with :func:`register_carry`) rewrites the next job's
+    params from the previous job's result — e.g. Fig. 3 warm-starts each
+    size's peak search from the previous size's peak.  Pipelines for
+    *different* systems have no dependency and run concurrently.
+    """
+
+    jobs: Tuple[ScenarioJob, ...]
+    carry: Optional[str] = None
+
+
+#: A unit of scheduling: one job, or one pipeline of dependent jobs.
+WorkUnit = Union[ScenarioJob, ScenarioPipeline]
+
+
+def replace_params(job: ScenarioJob, **updates: Any) -> ScenarioJob:
+    """A copy of ``job`` with ``updates`` merged into its params (carry
+    rules use this to rewrite the next stage from the previous result)."""
+    return dataclasses.replace(job, params={**job.params, **updates})
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+
+_EXECUTORS: Dict[str, Callable[..., Any]] = {}
+_CARRY_RULES: Dict[str, Callable[[Any, ScenarioJob], ScenarioJob]] = {}
+
+
+def register_executor(kind: str):
+    """Register ``fn(seed=..., **params)`` as the executor for ``kind``."""
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        _EXECUTORS[kind] = fn
+        return fn
+
+    return decorator
+
+
+def register_carry(name: str):
+    """Register ``fn(prev_result, next_job) -> ScenarioJob`` as a carry rule."""
+
+    def decorator(
+        fn: Callable[[Any, ScenarioJob], ScenarioJob]
+    ) -> Callable[[Any, ScenarioJob], ScenarioJob]:
+        _CARRY_RULES[name] = fn
+        return fn
+
+    return decorator
+
+
+def _ensure_executors_loaded() -> None:
+    """Import the standard executor registrations.
+
+    Under the ``spawn`` start method a worker process starts from a clean
+    interpreter, so registration-by-import must be repeated there; under
+    ``fork`` this is a no-op.
+    """
+    from . import jobs  # noqa: F401  (import side effect: registration)
+
+
+# ---------------------------------------------------------------------------
+# Seed derivation
+# ---------------------------------------------------------------------------
+
+
+def derive_seed(root_seed: int, *key: Any) -> int:
+    """Spawn an independent per-job seed from ``(root_seed, key)``.
+
+    A pure hash of the job's stable identity — **not** a draw from a
+    shared RNG stream — so the value depends only on the key, never on
+    how many jobs were enumerated before it, which worker runs it, or
+    the order results come back.  Use one structural key per job (e.g.
+    ``derive_seed(seed, "fig3", system, size)``).
+    """
+    material = repr((int(root_seed),) + tuple(key)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    """Execute one work unit in this process.
+
+    Returns the executor's result for a :class:`ScenarioJob`, or the list
+    of per-stage results for a :class:`ScenarioPipeline`.  This is the
+    worker entry point for the process-pool backend and the whole story
+    for the serial backend.
+    """
+    _ensure_executors_loaded()
+    if isinstance(unit, ScenarioPipeline):
+        carry = _CARRY_RULES[unit.carry] if unit.carry is not None else None
+        results: List[Any] = []
+        previous: Any = None
+        for index, job in enumerate(unit.jobs):
+            if carry is not None and index > 0:
+                job = carry(previous, job)
+            previous = _run_job(job)
+            results.append(previous)
+        return results
+    return _run_job(unit)
+
+
+def _run_job(job: ScenarioJob) -> Any:
+    try:
+        executor = _EXECUTORS[job.kind]
+    except KeyError:
+        known = ", ".join(sorted(_EXECUTORS)) or "<none>"
+        raise KeyError(
+            f"no executor registered for job kind {job.kind!r} (known: {known})"
+        ) from None
+    return executor(seed=job.seed, **job.params)
+
+
+def usable_cpus() -> int:
+    """CPUs actually available to this process.
+
+    Respects CPU affinity masks / cgroup cpusets where the platform
+    exposes them (``auto`` in a container pinned to 4 of 64 host cores
+    must mean 4, not 64 — worker memory scales with ``jobs × N²``).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0)) or 1
+    return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_BENCH_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "1").strip().lower()
+        if raw in ("", "1"):
+            return 1
+        if raw in ("0", "auto"):
+            return usable_cpus()
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{JOBS_ENV} must be a positive integer, 0, or 'auto'; "
+                f"got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"worker count must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class SweepTiming:
+    """Wall-clock record of one labelled :func:`execute` call."""
+
+    label: str
+    seconds: float
+    units: int
+    jobs: int
+    backend: str
+
+
+#: Process-global sweep log (parent process only; workers never append).
+_SWEEP_LOG: List[SweepTiming] = []
+
+
+def sweep_report() -> List[Dict[str, Any]]:
+    """The sweep log as JSON-ready dicts, in execution order."""
+    return [dataclasses.asdict(timing) for timing in _SWEEP_LOG]
+
+
+def reset_sweep_log() -> None:
+    _SWEEP_LOG.clear()
+
+
+def _pool_context():
+    """The platform's default multiprocessing context.
+
+    Linux defaults to ``fork`` (cheap, inherits the executor registries);
+    macOS and Windows default to ``spawn``, which CPython chose for
+    fork-safety there — workers re-import :mod:`repro.bench.jobs` via
+    :func:`_ensure_executors_loaded`, so both start methods resolve job
+    kinds and produce identical results.
+    """
+    return multiprocessing.get_context()
+
+
+def execute(
+    units: Sequence[WorkUnit],
+    jobs: Optional[int] = None,
+    label: Optional[str] = None,
+) -> List[Any]:
+    """Run work units on the selected backend; results in submission order.
+
+    ``jobs=None`` reads ``REPRO_BENCH_JOBS`` (default: 1 = serial, the
+    pre-refactor behavior).  With ``jobs > 1`` the units run on a
+    ``multiprocessing`` pool; ``pool.map`` reassembles results by
+    submission index, so completion order never shows through.  A
+    ``label`` records the sweep's wall-clock seconds in the process-global
+    log (:func:`sweep_report`).
+    """
+    _ensure_executors_loaded()
+    units = list(units)
+    workers = min(resolve_jobs(jobs), max(len(units), 1))
+    start = time.perf_counter()
+    if workers <= 1:
+        backend = "serial"
+        results = [run_unit(unit) for unit in units]
+    else:
+        context = _pool_context()
+        backend = f"process-pool({workers}, {context.get_start_method()})"
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(run_unit, units, chunksize=1)
+    if label is not None:
+        _SWEEP_LOG.append(
+            SweepTiming(
+                label=label,
+                seconds=time.perf_counter() - start,
+                units=len(units),
+                jobs=workers,
+                backend=backend,
+            )
+        )
+    return results

@@ -26,6 +26,13 @@ class PeakResult:
     latency: LatencySummary
     probes: List[RunResult]
 
+    @property
+    def injected_total(self) -> int:
+        """Payments injected across every probe of the search — the
+        quantity ``payment_budget`` rations, surfaced so budget
+        accounting is observable."""
+        return sum(probe.injected for probe in self.probes)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PeakResult {self.peak_pps:.0f} pps over {len(self.probes)} probes>"
 
@@ -127,10 +134,22 @@ def find_peak(
                 best = result
                 break
         if best is None:
+            if not probes:
+                # A zero probe budget (or a start rate already <= 1)
+                # never measured anything; there is no plateau to report.
+                raise ValueError(
+                    "find_peak ran no probes: max_probes must allow at "
+                    f"least one probe (got {max_probes}) and start_rate "
+                    f"must exceed 1.0 (got {start_rate})"
+                )
             # Report the saturated plateau as the achievable rate.
             final = probes[-1]
             return PeakResult(final.achieved, final.latency, probes)
-        failing = probes[-2]
+        # The last failing probe brackets the bisection from above.  Under
+        # a tight ``max_probes`` the history can be a single passing probe
+        # (e.g. max_doublings=0), in which case there is no upper bracket
+        # and refinement is skipped.
+        failing = probes[-2] if len(probes) >= 2 else None
     if failing is not None:
         low, high = best.offered, failing.offered
         for _ in range(refine_steps):

@@ -18,18 +18,24 @@ system below saturation; after a warm-up, a fault hits one replica:
 Scaled-down sizes are used by default (the paper itself notes "similar
 observations emerge" at other sizes); ``REPRO_BENCH_SCALE=full`` restores
 N=49/100.
+
+Execution model: every timeline (one curve of one figure) is an
+independent ``timeline`` job — system builder, config variant, and fault
+are all named in the picklable descriptor (resolved in the worker by
+:mod:`repro.bench.jobs`) — so a figure's curves run concurrently on the
+parallel backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..consensus.config import BftConfig
+from .jobs import ASYNC_DELAY  # noqa: F401  (re-exported; value is §VI-D's 100 ms)
+from .parallel import ScenarioJob, execute
 from .report import format_series, format_table
 from .scale import BenchScale, current_scale
-from .systems import build_astro1, build_bft
-from .timeline import TimelineResult, run_timeline
+from .timeline import TimelineResult
 
 __all__ = [
     "RobustnessResult",
@@ -37,9 +43,6 @@ __all__ = [
     "run_asynchrony_robustness",
     "run_large_scale_robustness",
 ]
-
-#: The paper's asynchrony injection: 100 ms on all outgoing packets.
-ASYNC_DELAY = 0.100
 
 #: Clients in every robustness run (§VI-D).
 NUM_CLIENTS = 10
@@ -72,63 +75,81 @@ class RobustnessResult:
         return "\n".join(lines)
 
 
-def _random_victim(system) -> int:
-    """A non-leader replica representing exactly one active client.
+#: (curve name, system, config variant, fault) per figure.
+_Scenario = Tuple[str, str, Optional[str], str]
 
-    Matches the paper's observation that crashing a random Astro replica
-    costs the throughput share of the clients it represented (~1 of 10).
-    """
-    index = min(NUM_CLIENTS, len(system.replicas)) - 1
-    return system.replicas[index].node_id
+_FIG5_SCENARIOS: List[_Scenario] = [
+    ("Consensus-Leader", "bft", None, "crash_leader"),
+    ("Consensus-Random", "bft", None, "crash_random"),
+    ("Broadcast-Random", "astro1", None, "crash_random"),
+]
+
+# Fig. 6: ``Consensus-Leader-A`` keeps a long request timeout, so the
+# slowed leader stays (degraded steady state); ``Consensus-Leader-B``
+# uses an aggressive timeout, so a view change deposes the leader and
+# throughput recovers — the trade-off the paper discusses.
+_FIG6_SCENARIOS: List[_Scenario] = [
+    ("Consensus-Leader-A", "bft", "patient", "delay_leader"),
+    ("Consensus-Leader-B", "bft", "aggressive", "delay_leader"),
+    ("Consensus-Random", "bft", None, "delay_random"),
+    ("Broadcast-Random", "astro1", None, "delay_random"),
+]
+
+_FIG7_SCENARIOS: List[_Scenario] = [
+    ("Consensus-Fail", "bft", None, "crash_leader"),
+    ("Consensus-Async", "bft", None, "delay_leader"),
+    ("Broadcast-Fail", "astro1", None, "crash_random"),
+    ("Broadcast-Async", "astro1", None, "delay_random"),
+]
 
 
-def _crash_leader(system, at: float) -> None:
-    system.faults.crash(system.replicas[0].node_id, at=at)
-
-
-def _crash_random(system, at: float) -> None:
-    system.faults.crash(_random_victim(system), at=at)
-
-
-def _delay_leader(system, at: float) -> None:
-    system.faults.delay_egress(system.replicas[0].node_id, ASYNC_DELAY, at=at)
-
-
-def _delay_random(system, at: float) -> None:
-    system.faults.delay_egress(_random_victim(system), ASYNC_DELAY, at=at)
+def _run_scenarios(
+    scenarios: List[_Scenario],
+    title: str,
+    size: int,
+    scale: BenchScale,
+    seed: int,
+    label: str,
+    jobs: Optional[int],
+) -> RobustnessResult:
+    units = [
+        ScenarioJob(
+            kind="timeline",
+            params=dict(
+                system=system,
+                size=size,
+                variant=variant,
+                fault=fault,
+                num_clients=NUM_CLIENTS,
+                warmup=scale.robustness_warmup,
+                window=scale.robustness_window,
+                fault_offset=scale.robustness_window / 4,
+            ),
+            seed=seed,
+            tag=name,
+        )
+        for name, system, variant, fault in scenarios
+    ]
+    results = execute(units, jobs=jobs, label=f"{label}[{scale.name}]")
+    timelines = {unit.tag: result for unit, result in zip(units, results)}
+    return RobustnessResult(title=title, size=size, timelines=timelines)
 
 
 def run_crash_robustness(
     size: int = 0,
     scale: Optional[BenchScale] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> RobustnessResult:
     """Fig. 5: crash-stop at t = warmup + offset."""
     if scale is None:
         scale = current_scale()
     if size == 0:
         size = scale.robustness_small_n
-    timelines: Dict[str, TimelineResult] = {}
-    scenarios = [
-        ("Consensus-Leader", build_bft, _crash_leader),
-        ("Consensus-Random", build_bft, _crash_random),
-        ("Broadcast-Random", build_astro1, _crash_random),
-    ]
-    for name, builder, fault in scenarios:
-        system = builder(size, seed=seed)
-        timelines[name] = run_timeline(
-            system,
-            num_clients=NUM_CLIENTS,
-            warmup=scale.robustness_warmup,
-            window=scale.robustness_window,
-            fault=fault,
-            fault_offset=scale.robustness_window / 4,
-            seed=seed,
-        )
-    return RobustnessResult(
+    return _run_scenarios(
+        _FIG5_SCENARIOS,
         title=f"Fig. 5 — throughput under crash-stop (N={size})",
-        size=size,
-        timelines=timelines,
+        size=size, scale=scale, seed=seed, label="fig5", jobs=jobs,
     )
 
 
@@ -136,56 +157,17 @@ def run_asynchrony_robustness(
     size: int = 0,
     scale: Optional[BenchScale] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> RobustnessResult:
-    """Fig. 6: 100 ms egress delay at one replica.
-
-    ``Consensus-Leader-A`` keeps the default (long) request timeout, so
-    the slowed leader stays: degraded steady state.  ``Consensus-Leader-B``
-    uses an aggressive timeout, so a view change deposes the leader and
-    throughput recovers — the trade-off the paper discusses.
-    """
+    """Fig. 6: 100 ms egress delay at one replica."""
     if scale is None:
         scale = current_scale()
     if size == 0:
         size = scale.robustness_small_n
-    timelines: Dict[str, TimelineResult] = {}
-
-    def build_bft_patient(n: int, seed: int = 0):
-        return build_bft(n, seed=seed, config=BftConfig(
-            num_replicas=n, request_timeout=30.0,
-        ))
-
-    def build_bft_aggressive(n: int, seed: int = 0):
-        # The timeout must sit between healthy request latency (~40 ms
-        # here) and the latency under a 100 ms-slowed leader (~200 ms),
-        # so the slow leader is deposed but a healthy one never is —
-        # exactly the tuning trade-off §VI-D discusses.
-        return build_bft(n, seed=seed, config=BftConfig(
-            num_replicas=n, request_timeout=0.12,
-            timeout_check_interval=0.05,
-        ))
-
-    scenarios = [
-        ("Consensus-Leader-A", build_bft_patient, _delay_leader),
-        ("Consensus-Leader-B", build_bft_aggressive, _delay_leader),
-        ("Consensus-Random", build_bft, _delay_random),
-        ("Broadcast-Random", build_astro1, _delay_random),
-    ]
-    for name, builder, fault in scenarios:
-        system = builder(size, seed=seed)
-        timelines[name] = run_timeline(
-            system,
-            num_clients=NUM_CLIENTS,
-            warmup=scale.robustness_warmup,
-            window=scale.robustness_window,
-            fault=fault,
-            fault_offset=scale.robustness_window / 4,
-            seed=seed,
-        )
-    return RobustnessResult(
+    return _run_scenarios(
+        _FIG6_SCENARIOS,
         title=f"Fig. 6 — throughput under asynchrony (N={size})",
-        size=size,
-        timelines=timelines,
+        size=size, scale=scale, seed=seed, label="fig6", jobs=jobs,
     )
 
 
@@ -193,32 +175,15 @@ def run_large_scale_robustness(
     size: int = 0,
     scale: Optional[BenchScale] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> RobustnessResult:
     """Fig. 7: both fault kinds at the large size (paper: N=100)."""
     if scale is None:
         scale = current_scale()
     if size == 0:
         size = scale.robustness_large_n
-    timelines: Dict[str, TimelineResult] = {}
-    scenarios = [
-        ("Consensus-Fail", build_bft, _crash_leader),
-        ("Consensus-Async", build_bft, _delay_leader),
-        ("Broadcast-Fail", build_astro1, _crash_random),
-        ("Broadcast-Async", build_astro1, _delay_random),
-    ]
-    for name, builder, fault in scenarios:
-        system = builder(size, seed=seed)
-        timelines[name] = run_timeline(
-            system,
-            num_clients=NUM_CLIENTS,
-            warmup=scale.robustness_warmup,
-            window=scale.robustness_window,
-            fault=fault,
-            fault_offset=scale.robustness_window / 4,
-            seed=seed,
-        )
-    return RobustnessResult(
+    return _run_scenarios(
+        _FIG7_SCENARIOS,
         title=f"Fig. 7 — robustness at large scale (N={size})",
-        size=size,
-        timelines=timelines,
+        size=size, scale=scale, seed=seed, label="fig7", jobs=jobs,
     )

@@ -8,6 +8,9 @@ parameters; ``REPRO_BENCH_SCALE=smoke`` shrinks further for CI.
 
 The scale knob never changes protocol logic — only N, durations, and
 sweep granularity.  DESIGN.md §3 records the per-experiment defaults.
+The orthogonal ``REPRO_BENCH_JOBS`` knob (see ``repro.bench.parallel``)
+controls how many scenario jobs of a sweep run concurrently; it never
+changes results at all.
 """
 
 from __future__ import annotations

@@ -23,32 +23,39 @@ Reproduced claims: total throughput scales near-linearly with shards,
 per-shard throughput decreases slightly with more shards (more cross-shard
 traffic), the 20 ms delay costs throughput and latency, and Astro II's
 totals dominate the consensus upper bound by ~5×.
+
+Execution model: every (shards, tc) cell is one ``table1_astro2`` job and
+every tc value one ``table1_bft`` job (the single-shard upper bound is
+shared across shard counts, exactly as the old per-delay cache did); all
+jobs are independent and run concurrently on the parallel backend.
 """
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..core.config import AstroConfig
 from ..core.system import Astro2System
-from ..consensus.config import BftConfig
 from ..consensus.system import BftSystem
 from ..sim.latency import europe_wan
-from ..sim.metrics import LatencyRecorder, ThroughputMeter
-from ..workloads.drivers import OpenLoopDriver
 from ..workloads.smallbank import (
     SmallbankWorkload,
     shard_assignment,
     smallbank_genesis,
 )
+from .parallel import ScenarioJob, execute
 from .peak import find_peak
 from .report import format_table
 from .runner import run_open_loop
 from .scale import BenchScale, current_scale
 
-__all__ = ["Table1Row", "Table1Result", "run_table1"]
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "measure_astro2_cell",
+    "measure_bft_upper_bound",
+]
 
 #: Account owners per shard in the Smallbank population.
 OWNERS_PER_SHARD = 32
@@ -117,13 +124,15 @@ def _build_smallbank_astro2(
     return system, workload
 
 
-def _measure_astro2(
+def measure_astro2_cell(
     shards: int,
     shard_size: int,
     delay_ms: float,
     duration: float,
     seed: int,
-    scale: Optional[BenchScale] = None,
+    payment_budget: int = 150_000,
+    max_probes: Optional[int] = None,
+    reuse_state: bool = False,
 ) -> Tuple[float, float, float]:
     """Returns (total pps, avg latency s, p95 latency s) at peak load."""
 
@@ -141,9 +150,9 @@ def _measure_astro2(
         workload_factory=lambda _system: SmallbankWorkload(
             OWNERS_PER_SHARD * shards, num_shards=shards, seed=seed
         ),
-        payment_budget=scale.peak_payment_budget if scale else 150_000,
-        max_probes=scale.peak_probe_cap if scale else None,
-        reuse_state=scale.peak_reuse_state if scale else False,
+        payment_budget=payment_budget,
+        max_probes=max_probes,
+        reuse_state=reuse_state,
     )
     # One clean confirmation run just below peak for latency numbers.
     system, workload = _build_smallbank_astro2(shards, shard_size, delay_ms, seed)
@@ -158,9 +167,14 @@ def _measure_astro2(
     return result.achieved, result.latency.mean, result.latency.p95
 
 
-def _measure_bft_upper_bound(
-    shard_size: int, delay_ms: float, duration: float, seed: int,
-    scale: Optional[BenchScale] = None,
+def measure_bft_upper_bound(
+    shard_size: int,
+    delay_ms: float,
+    duration: float,
+    seed: int,
+    payment_budget: int = 150_000,
+    max_probes: Optional[int] = None,
+    reuse_state: bool = False,
 ) -> float:
     """Single-shard BFT-SMaRt peak (the paper's optimistic upper bound)."""
 
@@ -188,9 +202,9 @@ def _measure_bft_upper_bound(
         workload_factory=lambda sys_: SmallbankWorkload(
             OWNERS_PER_SHARD, num_shards=1, seed=seed
         ),
-        payment_budget=scale.peak_payment_budget if scale else 150_000,
-        max_probes=scale.peak_probe_cap if scale else None,
-        reuse_state=scale.peak_reuse_state if scale else False,
+        payment_budget=payment_budget,
+        max_probes=max_probes,
+        reuse_state=reuse_state,
     )
     return peak.peak_pps
 
@@ -199,23 +213,54 @@ def run_table1(
     scale: Optional[BenchScale] = None,
     seed: int = 0,
     delays_ms: Tuple[float, ...] = (0.0, 20.0),
+    jobs: Optional[int] = None,
 ) -> Table1Result:
     if scale is None:
         scale = current_scale()
+    knobs = dict(
+        payment_budget=scale.peak_payment_budget,
+        max_probes=scale.peak_probe_cap,
+        reuse_state=scale.peak_reuse_state,
+    )
+    units: List[ScenarioJob] = [
+        ScenarioJob(
+            kind="table1_astro2",
+            params=dict(
+                shards=shards,
+                shard_size=scale.table1_shard_size,
+                delay_ms=delay_ms,
+                duration=scale.table1_duration,
+                **knobs,
+            ),
+            seed=seed,
+            tag=("astro2", shards, delay_ms),
+        )
+        for shards in scale.table1_shard_counts
+        for delay_ms in delays_ms
+    ]
+    # The BFT column is a single-shard upper bound shared by every shard
+    # count: one job per delay value (the old code's per-delay cache).
+    units += [
+        ScenarioJob(
+            kind="table1_bft",
+            params=dict(
+                shard_size=scale.table1_shard_size,
+                delay_ms=delay_ms,
+                duration=scale.table1_duration,
+                **knobs,
+            ),
+            seed=seed,
+            tag=("bft", delay_ms),
+        )
+        for delay_ms in delays_ms
+    ]
+    results = execute(units, jobs=jobs, label=f"table1[{scale.name}]")
+    by_tag = dict(zip((unit.tag for unit in units), results))
     rows: List[Table1Row] = []
-    bft_cache: Dict[float, float] = {}
     for shards in scale.table1_shard_counts:
         for delay_ms in delays_ms:
-            total, avg, p95 = _measure_astro2(
-                shards, scale.table1_shard_size, delay_ms,
-                scale.table1_duration, seed, scale=scale,
-            )
-            if delay_ms not in bft_cache:
-                bft_cache[delay_ms] = _measure_bft_upper_bound(
-                    scale.table1_shard_size, delay_ms, scale.table1_duration, seed,
-                    scale=scale,
-                )
-            bft_per_shard = bft_cache[delay_ms]
+            total, avg, p95 = by_tag[("astro2", shards, delay_ms)]
+            bft_per_shard = by_tag[("bft", delay_ms)]
             rows.append(
                 Table1Row(
                     shards=shards,

@@ -170,7 +170,11 @@ class AstroReplicaBase(Node):
         rep_get = self._rep_map.get
         awaiting = self._awaiting_seq
         seqnums = self.state.seqnums
-        touched_set = set()
+        # Deduplicated in *insertion order* (dict, not set): client ids are
+        # strings, and iterating a set of strings would order the drain —
+        # and therefore settle/confirm timing — by the interpreter's
+        # randomized hash seed, making results differ across processes.
+        touched: Dict[ClientId, None] = {}
         for payment in batch.items:
             # Defense in depth: a payment may only arrive via its
             # spender's representative (§II).
@@ -184,8 +188,8 @@ class AstroReplicaBase(Node):
             if seq in queue or seq <= seqnums.get(spender, 0):
                 continue  # duplicate identifier: first delivery wins
             queue[seq] = payment
-            touched_set.add(spender)
-        self._drain(deque(touched_set), origin)
+            touched[spender] = None
+        self._drain(deque(touched), origin)
         if origin == self.node_id:
             self._batch_done()
 

@@ -1,0 +1,222 @@
+"""Tests for the scenario-level parallel execution subsystem."""
+
+import functools
+
+import pytest
+
+from repro.bench import jobs  # noqa: F401 - registers the standard executors
+from repro.bench.fig3 import Fig3Result
+from repro.bench.parallel import (
+    ScenarioJob,
+    ScenarioPipeline,
+    derive_seed,
+    execute,
+    replace_params,
+    resolve_jobs,
+    run_unit,
+    sweep_report,
+)
+from repro.bench.peak import PeakResult, find_peak
+from repro.bench.systems import build_astro2
+
+
+def _tiny_job(system: str, rate: float = 400.0, seed: int = 0) -> ScenarioJob:
+    return ScenarioJob(
+        kind="open_loop_messages",
+        params=dict(system=system, size=4, rate=rate, duration=0.4, warmup=0.3),
+        seed=seed,
+        tag=system,
+    )
+
+
+class TestSeedDerivation:
+    def test_same_key_same_seed(self):
+        assert derive_seed(7, "fig3", "astro2", 4) == derive_seed(7, "fig3", "astro2", 4)
+
+    def test_distinct_keys_distinct_seeds(self):
+        keys = [("fig3", name, size) for name in ("bft", "astro1", "astro2")
+                for size in (4, 10, 22)]
+        seeds = {derive_seed(0, *key) for key in keys}
+        assert len(seeds) == len(keys)
+
+    def test_root_seed_separates_streams(self):
+        assert derive_seed(0, "x") != derive_seed(1, "x")
+
+    def test_independent_of_submission_order(self):
+        """The satellite guarantee: a job's seed is a pure function of its
+        identity key — enumerating or submitting jobs in any other order
+        must produce the same per-job seed."""
+        keys = [("cell", name, size) for name in ("bft", "astro1", "astro2")
+                for size in (4, 7, 10, 22)]
+        forward = {key: derive_seed(3, *key) for key in keys}
+        backward = {key: derive_seed(3, *key) for key in reversed(keys)}
+        shuffled = {key: derive_seed(3, *key)
+                    for key in sorted(keys, key=lambda k: repr(k)[::-1])}
+        assert forward == backward == shuffled
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_env_auto(self, monkeypatch):
+        from repro.bench.parallel import usable_cpus
+
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "auto")
+        assert resolve_jobs() == usable_cpus()
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        assert resolve_jobs() == usable_cpus()
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "8")
+        assert resolve_jobs(2) == 2
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "many")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestExecute:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="no executor registered"):
+            run_unit(ScenarioJob(kind="no-such-kind"))
+
+    def test_results_in_submission_order(self):
+        units = [_tiny_job("astro1"), _tiny_job("astro2")]
+        forward = execute(units, jobs=1)
+        backward = execute(list(reversed(units)), jobs=1)
+        assert [r.offered for r, _sent in forward] == [
+            r.offered for r, _sent in reversed(backward)
+        ]
+        # Astro I's O(N^2) BRB sends more wire messages than Astro II's.
+        assert forward[0][1] > forward[1][1]
+
+    def test_parallel_matches_serial(self):
+        units = [_tiny_job("astro1"), _tiny_job("astro2")]
+        serial = execute(units, jobs=1)
+        parallel = execute(units, jobs=2)
+        assert [(repr(r), sent) for r, sent in serial] == [
+            (repr(r), sent) for r, sent in parallel
+        ]
+        assert [(r.achieved, r.injected, r.confirmed) for r, _ in serial] == [
+            (r.achieved, r.injected, r.confirmed) for r, _ in parallel
+        ]
+
+    def test_sweep_timing_recorded(self):
+        before = len(sweep_report())
+        execute([_tiny_job("astro2")], jobs=1, label="test-sweep")
+        report = sweep_report()
+        assert len(report) == before + 1
+        entry = report[-1]
+        assert entry["label"] == "test-sweep"
+        assert entry["units"] == 1
+        assert entry["backend"] == "serial"
+        assert entry["seconds"] > 0
+
+    def test_unlabelled_sweeps_not_recorded(self):
+        before = len(sweep_report())
+        execute([_tiny_job("astro2")], jobs=1)
+        assert len(sweep_report()) == before
+
+
+class TestPipelines:
+    def _peak_pipeline(self) -> ScenarioPipeline:
+        job = functools.partial(
+            ScenarioJob,
+            kind="find_peak",
+            seed=0,
+        )
+        return ScenarioPipeline(
+            jobs=(
+                job(params=dict(
+                    system="astro2", size=4, start_rate=2000.0, duration=0.4,
+                    warmup=0.3, refine_steps=1, payment_budget=6000,
+                    max_probes=3, reuse_state=True,
+                )),
+                job(params=dict(
+                    system="astro2", size=7, start_rate=2000.0, duration=0.4,
+                    warmup=0.3, refine_steps=1, payment_budget=6000,
+                    max_probes=3, reuse_state=True,
+                )),
+            ),
+            carry="fig3_warm_start",
+        )
+
+    def test_pipeline_runs_stages_in_order(self):
+        results = run_unit(self._peak_pipeline())
+        assert len(results) == 2
+        assert all(isinstance(r, PeakResult) for r in results)
+        # The carry rule warm-started stage 2 from stage 1's peak, not
+        # from the enumerated start_rate.
+        expected_start = max(results[0].peak_pps * 0.5, 50.0)
+        assert results[1].probes[0].offered == pytest.approx(expected_start)
+
+    def test_pipeline_parallel_matches_serial(self):
+        pipeline = self._peak_pipeline()
+        serial = execute([pipeline, pipeline], jobs=1)
+        parallel = execute([pipeline, pipeline], jobs=2)
+        assert [[r.peak_pps for r in unit] for unit in serial] == [
+            [r.peak_pps for r in unit] for unit in parallel
+        ]
+
+    def test_replace_params_merges(self):
+        job = ScenarioJob(kind="k", params={"a": 1, "b": 2}, seed=3, tag="t")
+        updated = replace_params(job, b=9, c=10)
+        assert updated.params == {"a": 1, "b": 9, "c": 10}
+        assert job.params == {"a": 1, "b": 2}  # original untouched
+        assert (updated.kind, updated.seed, updated.tag) == ("k", 3, "t")
+
+
+class TestFig3ResultTable:
+    def test_table_with_subset_of_systems(self):
+        # Regression: table() used to KeyError on results measured for a
+        # subset of the three systems (run_fig3(systems=...)).
+        result = Fig3Result(sizes=[4, 10], peaks={"astro2": [100.0, 90.0]})
+        table = result.table()
+        assert "Astro II" in table
+        assert "BFT" not in table
+
+    def test_table_with_all_systems(self):
+        result = Fig3Result(
+            sizes=[4],
+            peaks={"bft": [1.0], "astro1": [2.0], "astro2": [3.0]},
+        )
+        lines = result.table().splitlines()
+        assert "Consensus" in lines[1]
+        assert "Astro I" in lines[1] and "Astro II" in lines[1]
+
+
+class TestFindPeakGuards:
+    def test_zero_probe_budget_raises(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        with pytest.raises(ValueError, match="no probes"):
+            find_peak(factory, start_rate=2000, max_probes=0)
+
+    def test_single_probe_history_skips_backtrack(self):
+        # max_doublings=0 forces the walk-down path; its first (and only)
+        # probe passes, leaving a one-element history that used to crash
+        # the ``probes[-2]`` backtrack.
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=800.0, duration=0.4, warmup=0.3,
+            max_doublings=0, refine_steps=2, payment_budget=4000,
+        )
+        assert len(result.probes) == 1
+        assert result.peak_pps > 0
+
+    def test_injected_total_sums_probes(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=2000, duration=0.4, warmup=0.3,
+            refine_steps=1, max_probes=3, payment_budget=6000,
+        )
+        assert result.injected_total == sum(p.injected for p in result.probes)
+        assert result.injected_total > 0
