@@ -37,6 +37,21 @@ def scale():
     return active
 
 
+@pytest.fixture(scope="session")
+def robustness_suite(scale):
+    """Figs. 5–7 measured through the pooled suite scheduler.
+
+    One ``run_robustness_suite`` call serves all three figure tests: the
+    11 fault timelines run as a single job pool (the dominant large-N
+    cells overlap the cheap ones instead of each figure waiting on its
+    slowest member), and the per-figure results are byte-identical to
+    the individual entry points — same descriptors, same per-cell seeds.
+    """
+    from repro.bench.robustness import run_robustness_suite
+
+    return run_robustness_suite(scale=scale)
+
+
 def pytest_sessionstart(session):
     global _session_started_at
     _session_started_at = time.time()

@@ -1,0 +1,63 @@
+"""Size-major vs warm-start pipeline A/B — the estimator accuracy guard.
+
+The size-major strategy replaces Fig. 3's warm-start carry with
+analytically estimated, anchor-calibrated search brackets.  This test is
+the accuracy contract behind that swap: at quick scale, every (system,
+size) cell's cold-start peak must agree with the legacy warm-start
+pipeline within the peak search's own granularity, and the estimator
+must not pay for independence with a fatter probe bill.
+
+Peak-search granularity sets the tolerance floor: both strategies stop
+refining after two bisections, so each reports a rate within ~15–20% of
+the true saturation boundary, and short probe windows add batch-wave
+quantization noise on top.  Agreement within 35% per cell is therefore
+"the same answer" at this scale; the qualitative claims the figure
+exists for (order-of-magnitude separations between systems) sit far
+outside it.
+
+Runs at quick scale regardless of ``REPRO_BENCH_SCALE`` so the contract
+is stable across CI tiers.
+"""
+
+from repro.bench.fig3 import run_fig3
+from repro.bench.scale import _SCALES
+
+#: Per-cell relative disagreement allowed between the two strategies.
+TOLERANCE = 0.35
+
+#: The size-major run (anchor probes included) may spend at most this
+#: multiple of the pipeline's total probes.
+PROBE_BUDGET_RATIO = 1.2
+
+
+def test_size_major_matches_pipeline_within_tolerance(benchmark, scale):
+    quick = _SCALES["quick"]
+    pipeline = benchmark.pedantic(
+        lambda: run_fig3(scale=quick, seed=0, strategy="pipeline"),
+        rounds=1, iterations=1,
+    )
+    size_major = run_fig3(scale=quick, seed=0, strategy="size-major")
+
+    assert size_major.sizes == pipeline.sizes
+    assert list(size_major.peaks) == list(pipeline.peaks)
+    print()
+    print(pipeline.table())
+    print(size_major.table())
+    for name in pipeline.peaks:
+        for index, size in enumerate(pipeline.sizes):
+            warm = pipeline.peaks[name][index]
+            cold = size_major.peaks[name][index]
+            disagreement = abs(cold - warm) / warm
+            assert disagreement <= TOLERANCE, (
+                f"{name} N={size}: size-major {cold:.0f} vs "
+                f"pipeline {warm:.0f} pps ({disagreement:.0%} apart)"
+            )
+
+    # Probe-budget regression guard: estimated brackets must keep the
+    # cold-start searches competitive with warm starts.
+    assert size_major.anchor_probes > 0
+    assert size_major.total_probes <= PROBE_BUDGET_RATIO * pipeline.total_probes, (
+        f"size-major spent {size_major.total_probes} probes "
+        f"(incl. {size_major.anchor_probes} anchors) vs pipeline "
+        f"{pipeline.total_probes}"
+    )

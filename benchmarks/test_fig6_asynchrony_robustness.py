@@ -7,13 +7,10 @@ slowed random replica barely matters; a slowed Astro replica affects only
 its own clients.
 """
 
-from repro.bench.robustness import run_asynchrony_robustness
-
-
-def test_fig6_asynchrony_robustness(benchmark, scale):
-    result = benchmark.pedantic(
-        lambda: run_asynchrony_robustness(scale=scale), rounds=1, iterations=1
-    )
+def test_fig6_asynchrony_robustness(scale, robustness_suite):
+    # Measured via the pooled Figs. 5-7 scheduler (see conftest);
+    # identical to run_asynchrony_robustness(scale=scale) cell for cell.
+    _fig5, result, _fig7 = robustness_suite
     print()
     print(result.table())
     print(result.series_dump())

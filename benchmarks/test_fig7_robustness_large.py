@@ -6,13 +6,10 @@ long view change; leader asynchrony causes persistent degradation; Astro
 merely sheds the affected replica's clients in both cases.
 """
 
-from repro.bench.robustness import run_large_scale_robustness
-
-
-def test_fig7_robustness_large(benchmark, scale):
-    result = benchmark.pedantic(
-        lambda: run_large_scale_robustness(scale=scale), rounds=1, iterations=1
-    )
+def test_fig7_robustness_large(scale, robustness_suite):
+    # Measured via the pooled Figs. 5-7 scheduler (see conftest);
+    # identical to run_large_scale_robustness(scale=scale) cell for cell.
+    _fig5, _fig6, result = robustness_suite
     print()
     print(result.table())
     print(result.series_dump())

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.config import AstroConfig
 from .parallel import ScenarioJob, execute
 from .report import format_table
+from .estimate import job_memory_bytes
 from .scale import BenchScale, current_scale
 
 __all__ = [
@@ -78,7 +79,10 @@ def run_batching_ablation(
         )
         for batch in batch_sizes
     ]
-    results = execute(units, jobs=jobs, label=f"ablation_batching[{scale.name}]")
+    results = execute(
+        units, jobs=jobs, label=f"ablation_batching[{scale.name}]",
+        per_job_bytes=job_memory_bytes(size),
+    )
     return BatchingAblation(
         size=size,
         batch_sizes=list(batch_sizes),
@@ -125,7 +129,10 @@ def run_message_complexity_ablation(
         for size in sizes
         for name in ("astro1", "astro2")
     ]
-    results = execute(units, jobs=jobs, label="ablation_messages")
+    results = execute(
+        units, jobs=jobs, label="ablation_messages",
+        per_job_bytes=job_memory_bytes(max(sizes)),
+    )
     messages: Dict[str, List[float]] = {"astro1": [], "astro2": []}
     for unit, (result, sent) in zip(units, results):
         name, _size = unit.tag

@@ -18,9 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .estimate import job_memory_bytes
 from .parallel import ScenarioJob, execute
 from .report import format_table
 from .scale import BenchScale, current_scale
+from .systems import validate_systems
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -57,6 +59,7 @@ def run_fig4(
 ) -> Fig4Result:
     if scale is None:
         scale = current_scale()
+    systems = validate_systems(systems)
     if size == 0:
         size = scale.fig4_size
     if points == 0:
@@ -77,5 +80,8 @@ def run_fig4(
         )
         for name in systems
     ]
-    results = execute(units, jobs=jobs, label=f"fig4[{scale.name}]")
+    results = execute(
+        units, jobs=jobs, label=f"fig4[{scale.name}]",
+        per_job_bytes=job_memory_bytes(size),
+    )
     return Fig4Result(size=size, curves=dict(zip(systems, results)))

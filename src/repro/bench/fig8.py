@@ -19,6 +19,7 @@ from ..sim.latency import europe_wan
 from ..sim.network import Network
 from .parallel import ScenarioJob, execute
 from .report import format_table
+from .estimate import job_memory_bytes
 from .scale import BenchScale, current_scale
 
 __all__ = ["Fig8Result", "run_fig8", "measure_astro_join_series"]
@@ -106,6 +107,19 @@ def run_fig8(
     if scale is None:
         scale = current_scale()
     sizes = list(sizes) if sizes else list(scale.fig8_sizes)
+    # The same up-front validation discipline as fig3/fig4's systems
+    # guard: a malformed size list would otherwise surface as a bare
+    # RuntimeError ("join did not complete") mid-series.
+    if any(size < 2 for size in sizes):
+        raise ValueError(
+            f"fig8 sizes must be >= 2 (a join needs an existing member "
+            f"to ask), got {sizes}"
+        )
+    if any(b <= a for a, b in zip(sizes, sizes[1:])):
+        raise ValueError(
+            f"fig8 sizes must be strictly increasing (one system grows "
+            f"through every size), got {sizes}"
+        )
     # The Astro series grows one system through every size (inherently
     # sequential: one job); each consensus join is independent.
     units = [
@@ -124,7 +138,10 @@ def run_fig8(
         )
         for size in sizes
     ]
-    results = execute(units, jobs=jobs, label=f"fig8[{scale.name}]")
+    results = execute(
+        units, jobs=jobs, label=f"fig8[{scale.name}]",
+        per_job_bytes=job_memory_bytes(max(sizes)),
+    )
     return Fig8Result(
         sizes=sizes, astro_latencies=results[0], bft_latencies=results[1:]
     )

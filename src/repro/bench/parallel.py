@@ -52,6 +52,7 @@ __all__ = [
     "ScenarioJob",
     "ScenarioPipeline",
     "SweepTiming",
+    "available_memory_bytes",
     "derive_seed",
     "execute",
     "register_carry",
@@ -226,14 +227,20 @@ def usable_cpus() -> int:
     return os.cpu_count() or 1
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``REPRO_BENCH_JOBS``, else 1."""
+def _resolve_jobs_info(jobs: Optional[int] = None) -> Tuple[int, bool]:
+    """``(worker count, came from auto-detection)``.
+
+    The boolean is True only when the count was inferred from the CPU
+    count (``REPRO_BENCH_JOBS=auto``/``0``) — the one case where the
+    memory-aware cap may shrink it.  An explicit worker count, argument
+    or env, is always honored verbatim.
+    """
     if jobs is None:
         raw = os.environ.get(JOBS_ENV, "1").strip().lower()
         if raw in ("", "1"):
-            return 1
+            return 1, False
         if raw in ("0", "auto"):
-            return usable_cpus()
+            return usable_cpus(), True
         try:
             jobs = int(raw)
         except ValueError:
@@ -243,7 +250,43 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             ) from None
     if jobs < 1:
         raise ValueError(f"worker count must be >= 1, got {jobs}")
-    return jobs
+    return jobs, False
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_BENCH_JOBS``, else 1."""
+    return _resolve_jobs_info(jobs)[0]
+
+
+def available_memory_bytes() -> Optional[int]:
+    """Memory currently available to new processes, or None if unknown.
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (Linux; the platform
+    every CI/large-box run of this suite uses).  Elsewhere returns None,
+    which disables the memory-aware cap.
+    """
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def _memory_capped_workers(workers: int, per_job_bytes: int) -> int:
+    """Shrink an auto-detected worker count to what memory can hold.
+
+    Worker memory is ``jobs × O(N²)`` message/xlog state at large N, so
+    ``auto`` on a many-core box must not schedule more simultaneous
+    simulations than RAM fits.  Leaves 20% headroom; never returns < 1.
+    """
+    available = available_memory_bytes()
+    if available is None or per_job_bytes <= 0:
+        return workers
+    fit = int(available * 0.8 // per_job_bytes)
+    return max(1, min(workers, fit))
 
 
 @dataclass(frozen=True)
@@ -255,6 +298,28 @@ class SweepTiming:
     units: int
     jobs: int
     backend: str
+    #: Per-unit wall-clock breakdown: ``[{"tag": ..., "seconds": ...}]``
+    #: in submission order, measured inside the worker — the cell-level
+    #: skew record a sweep needs to diagnose straggler cells.
+    cells: Optional[List[Dict[str, Any]]] = None
+
+
+def _cell_label(unit: "WorkUnit") -> Any:
+    """JSON-ready label for a unit's timing entry (tags are opaque, so
+    anything beyond primitives is rendered via repr)."""
+    if isinstance(unit, ScenarioPipeline):
+        return repr(tuple(job.tag for job in unit.jobs))
+    tag = unit.tag
+    if isinstance(tag, (str, int, float, bool)) or tag is None:
+        return tag
+    return repr(tag)
+
+
+def _run_unit_timed(unit: "WorkUnit") -> Tuple[Any, float]:
+    """Worker entry point recording the unit's own wall-clock seconds."""
+    start = time.perf_counter()
+    result = run_unit(unit)
+    return result, time.perf_counter() - start
 
 
 #: Process-global sweep log (parent process only; workers never append).
@@ -286,6 +351,7 @@ def execute(
     units: Sequence[WorkUnit],
     jobs: Optional[int] = None,
     label: Optional[str] = None,
+    per_job_bytes: Optional[int] = None,
 ) -> List[Any]:
     """Run work units on the selected backend; results in submission order.
 
@@ -293,21 +359,33 @@ def execute(
     pre-refactor behavior).  With ``jobs > 1`` the units run on a
     ``multiprocessing`` pool; ``pool.map`` reassembles results by
     submission index, so completion order never shows through.  A
-    ``label`` records the sweep's wall-clock seconds in the process-global
+    ``label`` records the sweep's wall-clock seconds — including a
+    per-unit breakdown timed inside the workers — in the process-global
     log (:func:`sweep_report`).
+
+    ``per_job_bytes`` is the enumerator's estimate of one worker's memory
+    footprint (e.g. :func:`repro.bench.estimate.job_memory_bytes` of the
+    sweep's largest N).  It caps **auto-detected** worker counts
+    (``REPRO_BENCH_JOBS=auto``) to what available memory fits — worker
+    memory is ``jobs × O(N²)`` at large N, so core count alone is the
+    wrong ceiling on many-core boxes.  Explicit counts are never capped.
     """
     _ensure_executors_loaded()
     units = list(units)
-    workers = min(resolve_jobs(jobs), max(len(units), 1))
+    workers, auto = _resolve_jobs_info(jobs)
+    if auto and per_job_bytes:
+        workers = _memory_capped_workers(workers, per_job_bytes)
+    workers = min(workers, max(len(units), 1))
     start = time.perf_counter()
     if workers <= 1:
         backend = "serial"
-        results = [run_unit(unit) for unit in units]
+        timed = [_run_unit_timed(unit) for unit in units]
     else:
         context = _pool_context()
         backend = f"process-pool({workers}, {context.get_start_method()})"
         with context.Pool(processes=workers) as pool:
-            results = pool.map(run_unit, units, chunksize=1)
+            timed = pool.map(_run_unit_timed, units, chunksize=1)
+    results = [result for result, _seconds in timed]
     if label is not None:
         _SWEEP_LOG.append(
             SweepTiming(
@@ -316,6 +394,10 @@ def execute(
                 units=len(units),
                 jobs=workers,
                 backend=backend,
+                cells=[
+                    {"tag": _cell_label(unit), "seconds": round(seconds, 4)}
+                    for unit, (_result, seconds) in zip(units, timed)
+                ],
             )
         )
     return results

@@ -10,12 +10,32 @@ overloaded probe never pollutes the next.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..sim.metrics import LatencySummary
 from .runner import RunResult, run_open_loop
 
-__all__ = ["PeakResult", "find_peak"]
+__all__ = ["PeakResult", "SATURATION_GOODPUT", "find_peak", "shrink_window"]
+
+#: A probe whose achieved/offered ratio falls below this is saturated.
+#: Shared with the estimator's calibration anchors (repro.bench.jobs),
+#: which must judge saturation exactly like the searches they seed.
+SATURATION_GOODPUT = 0.85
+
+
+def shrink_window(
+    rate: float, duration: float, warmup: float, payment_budget: int
+) -> Tuple[float, float]:
+    """Probe window scaled so ``rate`` injects at most ``payment_budget``
+    payments, floored where throughput measurement stays meaningful.
+
+    The single window discipline shared by every measurement probe —
+    peak-search probes here and the estimator's calibration anchors
+    (:mod:`repro.bench.jobs`) — so the anchors always observe the same
+    window regime as the searches they seed.
+    """
+    shrink = min(1.0, payment_budget / (rate * (warmup + duration)))
+    return max(duration * shrink, 0.4), max(warmup * shrink, 0.3)
 
 
 @dataclass
@@ -25,6 +45,10 @@ class PeakResult:
     peak_pps: float
     latency: LatencySummary
     probes: List[RunResult]
+    #: Index into ``probes`` of the measurement ``peak_pps`` reports —
+    #: the best passing probe, or (saturated-plateau fallback) the
+    #: failing probe with the highest achieved rate.
+    peak_probe_index: Optional[int] = None
 
     @property
     def injected_total(self) -> int:
@@ -38,7 +62,7 @@ class PeakResult:
 
 
 def _probe_ok(result: RunResult, envelope: float) -> bool:
-    if result.goodput_ratio < 0.85:
+    if result.goodput_ratio < SATURATION_GOODPUT:
         return False
     if result.latency.count == 0:
         return False
@@ -58,6 +82,7 @@ def find_peak(
     payment_budget: int = 150_000,
     max_probes: Optional[int] = None,
     reuse_state: bool = False,
+    bracket: Optional[Tuple[float, float]] = None,
 ) -> PeakResult:
     """Find peak sustainable throughput for systems built by ``factory``.
 
@@ -81,6 +106,15 @@ def find_peak(
     probe's measured window and inflate its throughput), poisons its
     system; it is discarded and the next probe starts fresh.  Off by
     default to preserve the paper's measurement procedure exactly.
+
+    ``bracket`` — an estimated ``(low_hint, high_hint)`` range believed to
+    contain the peak (e.g. from :mod:`repro.bench.estimate`) — replaces
+    the cold doubling phase with two probes: ``low_hint`` (expected to
+    pass) and ``high_hint`` (expected to fail), after which refinement
+    bisects between them.  A wrong hint degrades gracefully: a passing
+    ``high_hint`` resumes doubling above it, a failing ``low_hint`` falls
+    into the standard walk-down.  ``start_rate`` is ignored when a
+    bracket is supplied.
     """
     probes: List[RunResult] = []
     #: One-slot cache holding a system left quiesced by a passing probe.
@@ -89,13 +123,14 @@ def find_peak(
     def probe(rate: float) -> RunResult:
         system = warm.pop() if (reuse_state and warm) else factory()
         workload = workload_factory(system) if workload_factory is not None else None
-        window = warmup + duration
-        shrink = min(1.0, payment_budget / (rate * window))
+        probe_duration, probe_warmup = shrink_window(
+            rate, duration, warmup, payment_budget
+        )
         result = run_open_loop(
             system,
             rate=rate,
-            duration=max(duration * shrink, 0.4),
-            warmup=max(warmup * shrink, 0.3),
+            duration=probe_duration,
+            warmup=probe_warmup,
             seed=seed,
             workload=workload,
         )
@@ -112,19 +147,51 @@ def find_peak(
     def budget_left() -> bool:
         return max_probes is None or len(probes) < max_probes
 
+    def index_of(result: RunResult) -> int:
+        """Position of ``result`` in the probe history (identity, not
+        value equality — two probes can measure identical numbers)."""
+        return next(i for i, p in enumerate(probes) if p is result)
+
     best: Optional[RunResult] = None
-    rate = start_rate
     failing: Optional[RunResult] = None
-    for _ in range(max_doublings):
-        if not budget_left():
-            break
-        result = probe(rate)
-        if _probe_ok(result, latency_envelope):
-            best = result
-            rate *= 2.0
-        else:
-            failing = result
-            break
+    rate = start_rate
+    skip_doubling = False
+    if bracket is not None:
+        low_hint, high_hint = bracket
+        if not (0.0 < low_hint < high_hint):
+            raise ValueError(
+                f"bracket must satisfy 0 < low < high, got {bracket!r}"
+            )
+        # Estimated-bracket phase: one probe at each hint.  When the
+        # estimate is right this replaces the whole doubling ladder.
+        rate = low_hint
+        if budget_left():
+            result = probe(low_hint)
+            if _probe_ok(result, latency_envelope):
+                best = result
+                rate = high_hint
+                if budget_left():
+                    result = probe(high_hint)
+                    if _probe_ok(result, latency_envelope):
+                        # Estimate too low: resume doubling above the hint.
+                        best = result
+                        rate = high_hint * 2.0
+                    else:
+                        failing = result
+                        skip_doubling = True
+            # else: the low hint already saturates — fall through with
+            # best None, entering the standard walk-down from low_hint.
+    if not skip_doubling and (best is not None or bracket is None):
+        for _ in range(max_doublings):
+            if not budget_left():
+                break
+            result = probe(rate)
+            if _probe_ok(result, latency_envelope):
+                best = result
+                rate *= 2.0
+            else:
+                failing = result
+                break
     if best is None:
         # Even the starting rate saturates: walk down instead.
         while rate > 1.0 and budget_left():
@@ -142,9 +209,17 @@ def find_peak(
                     f"least one probe (got {max_probes}) and start_rate "
                     f"must exceed 1.0 (got {start_rate})"
                 )
-            # Report the saturated plateau as the achievable rate.
-            final = probes[-1]
-            return PeakResult(final.achieved, final.latency, probes)
+            # Report the saturated plateau as the achievable rate.  Every
+            # probe in the history failed; report the *best-measured*
+            # plateau, not the last probe — under ``reuse_state`` the last
+            # walk-down probe can be poisoned by an earlier overload probe
+            # and read far below the true plateau.
+            winner = max(range(len(probes)), key=lambda i: probes[i].achieved)
+            plateau = probes[winner]
+            return PeakResult(
+                plateau.achieved, plateau.latency, probes,
+                peak_probe_index=winner,
+            )
         # The last failing probe brackets the bisection from above.  Under
         # a tight ``max_probes`` the history can be a single passing probe
         # (e.g. max_doublings=0), in which case there is no upper bracket
@@ -162,4 +237,6 @@ def find_peak(
                 low = mid
             else:
                 high = mid
-    return PeakResult(best.achieved, best.latency, probes)
+    return PeakResult(
+        best.achieved, best.latency, probes, peak_probe_index=index_of(best)
+    )

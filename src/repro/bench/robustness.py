@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .estimate import job_memory_bytes
 from .jobs import ASYNC_DELAY  # noqa: F401  (re-exported; value is §VI-D's 100 ms)
 from .parallel import ScenarioJob, execute
 from .report import format_series, format_table
@@ -42,6 +43,7 @@ __all__ = [
     "run_crash_robustness",
     "run_asynchrony_robustness",
     "run_large_scale_robustness",
+    "run_robustness_suite",
 ]
 
 #: Clients in every robustness run (§VI-D).
@@ -103,16 +105,14 @@ _FIG7_SCENARIOS: List[_Scenario] = [
 ]
 
 
-def _run_scenarios(
+def _enumerate_scenarios(
     scenarios: List[_Scenario],
-    title: str,
     size: int,
     scale: BenchScale,
     seed: int,
-    label: str,
-    jobs: Optional[int],
-) -> RobustnessResult:
-    units = [
+) -> List[ScenarioJob]:
+    """One independent ``timeline`` job per fault curve of one figure."""
+    return [
         ScenarioJob(
             kind="timeline",
             params=dict(
@@ -130,9 +130,31 @@ def _run_scenarios(
         )
         for name, system, variant, fault in scenarios
     ]
-    results = execute(units, jobs=jobs, label=f"{label}[{scale.name}]")
+
+
+def _assemble(
+    units: List[ScenarioJob], results: List[TimelineResult],
+    title: str, size: int,
+) -> RobustnessResult:
     timelines = {unit.tag: result for unit, result in zip(units, results)}
     return RobustnessResult(title=title, size=size, timelines=timelines)
+
+
+def _run_scenarios(
+    scenarios: List[_Scenario],
+    title: str,
+    size: int,
+    scale: BenchScale,
+    seed: int,
+    label: str,
+    jobs: Optional[int],
+) -> RobustnessResult:
+    units = _enumerate_scenarios(scenarios, size, scale, seed)
+    results = execute(
+        units, jobs=jobs, label=f"{label}[{scale.name}]",
+        per_job_bytes=job_memory_bytes(size),
+    )
+    return _assemble(units, results, title, size)
 
 
 def run_crash_robustness(
@@ -187,3 +209,47 @@ def run_large_scale_robustness(
         title=f"Fig. 7 — robustness at large scale (N={size})",
         size=size, scale=scale, seed=seed, label="fig7", jobs=jobs,
     )
+
+
+def run_robustness_suite(
+    scale: Optional[BenchScale] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> Tuple[RobustnessResult, RobustnessResult, RobustnessResult]:
+    """Figs. 5–7 as one pooled schedule: every fault timeline of every
+    figure is an independent job in a single :func:`execute` call.
+
+    Run figure-by-figure, each figure is a small barrier gated on its
+    slowest member — and Fig. 7's large-N view-change timelines dominate
+    a 4-job sweep while the other workers idle.  Pooling all 11 timelines
+    lets Figs. 5/6's cheaper cells fill the idle workers alongside the
+    dominant N=100 cells, so the suite's wall-clock approaches the single
+    slowest timeline instead of the sum of three stragglers.
+
+    Results are byte-identical to the per-figure entry points: the same
+    descriptors run with the same per-cell seeds, only scheduling differs.
+    """
+    if scale is None:
+        scale = current_scale()
+    small, large = scale.robustness_small_n, scale.robustness_large_n
+    figures = [
+        (_FIG5_SCENARIOS, f"Fig. 5 — throughput under crash-stop (N={small})", small),
+        (_FIG6_SCENARIOS, f"Fig. 6 — throughput under asynchrony (N={small})", small),
+        (_FIG7_SCENARIOS, f"Fig. 7 — robustness at large scale (N={large})", large),
+    ]
+    per_figure_units = [
+        _enumerate_scenarios(scenarios, size, scale, seed)
+        for scenarios, _title, size in figures
+    ]
+    units = [unit for figure_units in per_figure_units for unit in figure_units]
+    results = execute(
+        units, jobs=jobs, label=f"robustness-suite[{scale.name}]",
+        per_job_bytes=job_memory_bytes(large),
+    )
+    assembled = []
+    cursor = 0
+    for (scenarios, title, size), figure_units in zip(figures, per_figure_units):
+        figure_results = results[cursor:cursor + len(figure_units)]
+        cursor += len(figure_units)
+        assembled.append(_assemble(figure_units, figure_results, title, size))
+    return tuple(assembled)

@@ -50,6 +50,11 @@ class BenchScale:
     peak_payment_budget: int = 150_000
     peak_max_probes: int = 0  # 0 = unlimited
     peak_reuse_state: bool = False
+    #: Payments injected by one size-major calibration anchor probe
+    #: (see repro.bench.estimate); anchors run deliberately *below*
+    #: saturation (capacity is read from bottleneck utilization), and
+    #: this budget shrinks the probe window when the rate is high.
+    anchor_payment_budget: int = 40_000
 
     @property
     def peak_probe_cap(self):
@@ -80,6 +85,7 @@ _SCALES = {
         peak_payment_budget=25_000,
         peak_max_probes=9,
         peak_reuse_state=True,
+        anchor_payment_budget=6_000,
     ),
     "quick": BenchScale(
         name="quick",
@@ -98,6 +104,7 @@ _SCALES = {
         peak_warmup=0.5,
         peak_payment_budget=100_000,
         peak_max_probes=14,
+        anchor_payment_budget=15_000,
     ),
     "full": BenchScale(
         name="full",

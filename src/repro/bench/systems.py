@@ -17,7 +17,7 @@ from ..sim.latency import europe_wan
 from ..workloads.uniform import uniform_genesis
 
 __all__ = ["build_astro1", "build_astro2", "build_bft", "SYSTEM_BUILDERS",
-           "client_ids_of"]
+           "client_ids_of", "validate_systems"]
 
 #: Spenders per replica in microbenchmarks; enough to spread load over
 #: every representative without bloating per-client state.
@@ -103,6 +103,33 @@ SYSTEM_BUILDERS: Dict[str, Callable[..., Any]] = {
     "astro2": build_astro2,
     "bft": build_bft,
 }
+
+
+def validate_systems(systems: Any) -> List[str]:
+    """Validate a figure entry point's ``systems`` argument.
+
+    Figures assemble their results by zipping ``systems`` against
+    per-system job results, so a duplicate name would silently overwrite
+    one system's row with another's and an unknown name would surface as
+    a bare ``KeyError`` deep inside job enumeration.  Fail up front,
+    naming the allowed systems.
+    """
+    names = list(systems)
+    allowed = sorted(SYSTEM_BUILDERS)
+    unknown = [name for name in names if name not in SYSTEM_BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown system(s) {unknown!r}: allowed systems are {allowed}"
+        )
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ValueError(
+            f"duplicate system name(s) {duplicates!r}: results are keyed "
+            f"by system, so each of {allowed} may appear at most once"
+        )
+    if not names:
+        raise ValueError(f"systems must name at least one of {allowed}")
+    return names
 
 
 def client_ids_of(system: Any) -> List:

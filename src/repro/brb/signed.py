@@ -290,6 +290,11 @@ class SignedBroadcast(BroadcastLayer):
     # ------------------------------------------------------------------
     def _valid_certificate(self, message: SbCommit) -> bool:
         content = _ack_content(message.origin, message.seq, message.payload_digest)
+        # Distinct-signer *count* only.  Signer identities contain strings,
+        # so this set's iteration order is PYTHONHASHSEED-dependent — it
+        # must never be iterated into a message or certificate (the
+        # certificates themselves are built from insertion-ordered ACK
+        # buckets in _send_commit).
         signers: Set[Hashable] = set()
         for signature in message.proof:
             if not verify(self.keychain, signature, content):

@@ -201,6 +201,10 @@ def verify_certificate(
     if subbatch_digest_of(cert.subbatch) != cert.subbatch_digest:
         return False  # claimed digest does not match the carried content
     content = credit_content(cert.shard_id, cert.subbatch_digest)
+    # Distinct-signer *count* only: signer identities contain strings, so
+    # the set's iteration order is PYTHONHASHSEED-dependent and must never
+    # leak into certificate assembly (DependencyCollector builds
+    # certificates from its insertion-ordered CREDIT buckets instead).
     signers: Set[Hashable] = set()
     for signature in cert.signatures:
         if not isinstance(signature, Signature):

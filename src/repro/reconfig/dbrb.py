@@ -111,7 +111,10 @@ class DynamicBroadcast:
               payload: Any, size: int) -> None:
         message = _DbrbMessage(kind, view_number, origin, seq, payload, size)
         cost = costs.MESSAGE_OVERHEAD + costs.MAC_VERIFY + costs.PER_BYTE_CPU * size
-        for member in self.view.members:
+        # Fan-out order must be a pure function of the view's *content*:
+        # iterating the set directly would order sends by hash-table
+        # internals (insertion/resize history), not by membership.
+        for member in sorted(self.view.members):
             if member == self.node.node_id:
                 continue
             self.node.send(member, message, size=size, recv_cost=cost,

@@ -124,7 +124,10 @@ class ReconfigReplica(Node):
             raise RuntimeError(f"node {self.node_id} is already a member")
         self._join_started_at = self.sim.now
         request = JoinRequest(self.node_id, self.view.number)
-        for member in self.view.members:
+        # All membership fan-outs iterate members in sorted order: send
+        # order must derive from the view's content, never from set
+        # iteration (an artifact of hash-table internals).
+        for member in sorted(self.view.members):
             self.send(
                 member,
                 request,
@@ -136,7 +139,7 @@ class ReconfigReplica(Node):
         if not self.active:
             raise RuntimeError(f"node {self.node_id} is not a member")
         request = LeaveRequest(self.node_id, self.view.number)
-        for member in self.view.members:
+        for member in sorted(self.view.members):
             if member == self.node_id:
                 continue
             self.send(
@@ -175,8 +178,7 @@ class ReconfigReplica(Node):
         self.cpu.occupy(costs.ECDSA_SIGN)
         signature = sign(self.key, new_view.canonical())
         proposal = ViewProposal(new_view, signature)
-        targets = self.view.members | new_view.members
-        for member in targets:
+        for member in sorted(self.view.members | new_view.members):
             if member == self.node_id:
                 continue
             self.send(
@@ -227,7 +229,7 @@ class ReconfigReplica(Node):
         # Notify peers; newcomers additionally receive the state snapshot
         # (all xlogs, §A-A "Our state transfer protocol simply consists of
         # sending all xlogs to the joining replica").
-        for member in new_view.members:
+        for member in sorted(new_view.members):
             if member == self.node_id:
                 continue
             state = self.state_bytes if member in newcomers else 0

@@ -1,0 +1,420 @@
+"""Tests for the size-major estimation subsystem: the analytic curve,
+anchor calibration, bracketed peak search, memory-aware worker caps, and
+the fig3 strategies' job enumeration."""
+
+import functools
+
+import pytest
+
+import repro.bench.fig3 as fig3_mod
+import repro.bench.robustness as robustness_mod
+from repro.bench import parallel
+from repro.bench.estimate import (
+    PeakEstimate,
+    analytic_capacity,
+    bracket_for,
+    calibrated_capacity,
+    estimate_peaks,
+    job_memory_bytes,
+)
+from repro.bench.fig3 import Fig3Result, run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig8 import run_fig8
+from repro.bench.parallel import (
+    ScenarioJob,
+    ScenarioPipeline,
+    execute,
+    reset_sweep_log,
+    sweep_report,
+)
+from repro.bench.peak import PeakResult, find_peak
+from repro.bench.robustness import run_robustness_suite
+from repro.bench.scale import _SCALES
+from repro.bench.systems import build_astro2, build_bft, validate_systems
+from repro.sim.metrics import LatencySummary
+
+SYSTEMS = ("bft", "astro1", "astro2")
+
+
+class TestAnalyticCapacity:
+    def test_positive_everywhere(self):
+        for system in SYSTEMS:
+            for size in (4, 10, 31, 100):
+                assert analytic_capacity(system, size) > 0
+
+    def test_paper_ordering_at_scale(self):
+        # §VI-C1: broadcast beats consensus, Astro II beats Astro I.
+        for size in (10, 31, 100):
+            bft = analytic_capacity("bft", size)
+            astro1 = analytic_capacity("astro1", size)
+            astro2 = analytic_capacity("astro2", size)
+            assert astro2 > astro1 > bft
+
+    def test_decay_with_size(self):
+        for system in SYSTEMS:
+            assert analytic_capacity(system, 4) > analytic_capacity(system, 100)
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            analytic_capacity("raft", 4)
+
+
+class TestCalibration:
+    def test_no_anchors_is_analytic(self):
+        assert calibrated_capacity("astro2", 22) == analytic_capacity("astro2", 22)
+
+    def test_single_anchor_rescales_uniformly(self):
+        measured = 2.0 * analytic_capacity("astro2", 4)
+        for size in (4, 22, 100):
+            assert calibrated_capacity(
+                "astro2", size, {4: measured}
+            ) == pytest.approx(2.0 * analytic_capacity("astro2", size))
+
+    def test_two_anchors_pass_through_measurements(self):
+        anchors = {
+            4: 0.5 * analytic_capacity("astro1", 4),
+            10: 0.8 * analytic_capacity("astro1", 10),
+        }
+        for size, measured in anchors.items():
+            assert calibrated_capacity("astro1", size, anchors) == pytest.approx(
+                measured
+            )
+
+    def test_extrapolated_correction_is_clamped(self):
+        # A wildly sloped pair of anchors must not run away at large N.
+        anchors = {4: analytic_capacity("bft", 4), 10: 4 * analytic_capacity("bft", 10)}
+        capacity = calibrated_capacity("bft", 100, anchors)
+        # t clamps at 2.0 -> correction at most 1 * (4/1)^2 = 16x.
+        assert capacity <= 16.0 * analytic_capacity("bft", 100) * 1.001
+
+    def test_nonpositive_anchor_ignored(self):
+        assert calibrated_capacity("bft", 10, {4: 0.0}) == analytic_capacity("bft", 10)
+
+
+class TestBrackets:
+    def test_bracket_surrounds_capacity(self):
+        low, high = bracket_for(10_000.0)
+        assert low < 10_000.0 < high
+
+    def test_bracket_floor(self):
+        low, high = bracket_for(10.0)
+        assert low == 50.0 and high == 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bracket_for(0.0)
+
+    def test_estimate_peaks_covers_every_size(self):
+        estimates = estimate_peaks("astro2", (4, 10, 22))
+        assert sorted(estimates) == [4, 10, 22]
+        for estimate in estimates.values():
+            assert isinstance(estimate, PeakEstimate)
+            assert estimate.bracket[0] < estimate.capacity_pps < estimate.bracket[1]
+
+
+class TestJobMemory:
+    def test_monotone_in_size(self):
+        assert job_memory_bytes(100) > job_memory_bytes(10) > 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            job_memory_bytes(0)
+
+
+class TestMemoryAwareAutoCap:
+    def test_explicit_jobs_never_capped(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_memory_bytes", lambda: 10)
+        assert parallel._memory_capped_workers(4, 10**9) == 1
+        # execute() only consults the cap for auto resolution:
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "1")
+        info = parallel._resolve_jobs_info(None)
+        assert info == (1, False)
+
+    def test_auto_capped_by_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "auto")
+        workers, auto = parallel._resolve_jobs_info(None)
+        assert auto is True
+        monkeypatch.setattr(
+            parallel, "available_memory_bytes", lambda: 10 * 10**9
+        )
+        # 10 GB * 0.8 headroom / 2 GB per job = 4 workers max.
+        assert parallel._memory_capped_workers(64, 2 * 10**9) == 4
+        assert parallel._memory_capped_workers(2, 2 * 10**9) == 2
+
+    def test_unknown_memory_leaves_count(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_memory_bytes", lambda: None)
+        assert parallel._memory_capped_workers(8, 10**9) == 8
+
+    def test_available_memory_readable_or_none(self):
+        value = parallel.available_memory_bytes()
+        assert value is None or value > 0
+
+
+class TestPerCellTimings:
+    def test_cells_recorded_with_tags(self):
+        reset_sweep_log()
+        units = [
+            ScenarioJob(
+                kind="open_loop_messages",
+                params=dict(system="astro2", size=4, rate=400.0,
+                            duration=0.4, warmup=0.3),
+                seed=0,
+                tag=("astro2", 4),
+            )
+        ]
+        execute(units, jobs=1, label="cell-timing-test")
+        entry = sweep_report()[-1]
+        assert entry["label"] == "cell-timing-test"
+        cells = entry["cells"]
+        assert len(cells) == 1
+        assert cells[0]["tag"] == repr(("astro2", 4))
+        assert cells[0]["seconds"] > 0
+
+
+def _fake_execute_factory(calls):
+    """Stand-in backend: records every execute() call, fabricates
+    result shapes per job kind."""
+
+    def fake_execute(units, jobs=None, label=None, per_job_bytes=None):
+        units = list(units)
+        calls.append(dict(label=label, units=units, jobs=jobs,
+                          per_job_bytes=per_job_bytes))
+        results = []
+        for unit in units:
+            if isinstance(unit, ScenarioPipeline):
+                results.append([
+                    PeakResult(1000.0, LatencySummary.empty(), [None] * 4)
+                    for _job in unit.jobs
+                ])
+            elif unit.kind == "estimate_anchor":
+                results.append({
+                    "capacity_pps": 10_000.0, "offered": 2_500.0,
+                    "achieved": 2_500.0, "utilization": 0.25,
+                })
+            elif unit.kind == "find_peak":
+                results.append(
+                    PeakResult(unit.params["bracket"][0],
+                               LatencySummary.empty(), [None] * 3)
+                )
+            elif unit.kind == "timeline":
+                results.append(f"timeline:{unit.tag}")
+            else:  # pragma: no cover - defensive
+                raise AssertionError(f"unexpected kind {unit.kind}")
+        return results
+
+    return fake_execute
+
+
+class TestFig3SizeMajorEnumeration:
+    def test_one_job_per_cell(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(fig3_mod, "execute", _fake_execute_factory(calls))
+        sizes, systems = (4, 7, 10), ("bft", "astro2")
+        result = run_fig3(
+            sizes=sizes, systems=systems, scale=_SCALES["smoke"],
+            strategy="size-major", seed=3,
+        )
+        assert len(calls) == 2  # anchors, then the cell sweep
+        anchors, cells = calls
+        # Anchor phase: up to two smallest sizes per system.
+        assert len(anchors["units"]) == len(systems) * 2
+        assert all(u.kind == "estimate_anchor" for u in anchors["units"])
+        assert sorted({u.params["size"] for u in anchors["units"]}) == [4, 7]
+        # The sweep proper: exactly len(sizes) x len(systems) independent
+        # jobs, every one a bracketed cold-start cell.
+        assert len(cells["units"]) == len(sizes) * len(systems)
+        assert all(isinstance(u, ScenarioJob) for u in cells["units"])
+        assert all(u.kind == "find_peak" for u in cells["units"])
+        assert {u.tag for u in cells["units"]} == {
+            (name, size) for name in systems for size in sizes
+        }
+        for unit in cells["units"]:
+            low, high = unit.params["bracket"]
+            assert 0 < low < high
+            assert unit.seed == 3
+        assert cells["per_job_bytes"] == job_memory_bytes(10)
+        # Assembly: per-system series in size order, probe accounting on.
+        assert list(result.peaks) == list(systems)
+        assert result.sizes == list(sizes)
+        assert result.anchor_probes == len(anchors["units"])
+        assert result.probe_counts["bft"] == [3, 3, 3]
+        assert result.total_probes == 4 + 18
+
+    def test_pipeline_strategy_keeps_carry(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(fig3_mod, "execute", _fake_execute_factory(calls))
+        result = run_fig3(
+            sizes=(4, 7), systems=("astro1",), scale=_SCALES["smoke"],
+            strategy="pipeline",
+        )
+        assert len(calls) == 1
+        (pipeline,) = calls[0]["units"]
+        assert isinstance(pipeline, ScenarioPipeline)
+        assert pipeline.carry == "fig3_warm_start"
+        assert len(pipeline.jobs) == 2
+        assert result.anchor_probes == 0
+        assert result.probe_counts["astro1"] == [4, 4]
+
+    def test_env_selects_strategy(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(fig3_mod, "execute", _fake_execute_factory(calls))
+        monkeypatch.setenv("REPRO_BENCH_FIG3_STRATEGY", "pipeline")
+        run_fig3(sizes=(4,), systems=("bft",), scale=_SCALES["smoke"])
+        assert isinstance(calls[0]["units"][0], ScenarioPipeline)
+
+    def test_default_strategy_is_size_major(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(fig3_mod, "execute", _fake_execute_factory(calls))
+        monkeypatch.delenv("REPRO_BENCH_FIG3_STRATEGY", raising=False)
+        run_fig3(sizes=(4,), systems=("bft",), scale=_SCALES["smoke"])
+        assert calls[0]["units"][0].kind == "estimate_anchor"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            run_fig3(sizes=(4,), scale=_SCALES["smoke"], strategy="warp")
+
+
+class TestSystemsValidation:
+    def test_validate_systems_passes_good_input(self):
+        assert validate_systems(("bft", "astro2")) == ["bft", "astro2"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_systems(("astro2", "bft", "astro2"))
+
+    def test_unknown_named_with_allowed_list(self):
+        with pytest.raises(ValueError) as excinfo:
+            validate_systems(("bft", "hotstuff"))
+        message = str(excinfo.value)
+        assert "hotstuff" in message
+        for name in SYSTEMS:
+            assert name in message
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_systems(())
+
+    def test_run_fig3_guards_systems(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_fig3(systems=("bft", "bft"), scale=_SCALES["smoke"])
+        with pytest.raises(ValueError, match="unknown system"):
+            run_fig3(systems=("tendermint",), scale=_SCALES["smoke"])
+
+    def test_run_fig4_guards_systems(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_fig4(systems=("astro1", "astro1"), scale=_SCALES["smoke"])
+        with pytest.raises(ValueError, match="unknown system"):
+            run_fig4(systems=("paxos",), scale=_SCALES["smoke"])
+
+    def test_run_fig8_guards_sizes(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            run_fig8(sizes=(10, 4), scale=_SCALES["smoke"])
+        with pytest.raises(ValueError, match=">= 2"):
+            run_fig8(sizes=(1, 4), scale=_SCALES["smoke"])
+
+
+class TestFindPeakBracket:
+    def test_bracket_probes_hints_first(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, bracket=(2_000.0, 400_000.0), duration=0.4, warmup=0.3,
+            refine_steps=1, payment_budget=6_000, max_probes=4,
+        )
+        assert result.probes[0].offered == pytest.approx(2_000.0)
+        assert result.probes[1].offered == pytest.approx(400_000.0)
+        # N=4 Astro II sits inside this bracket (the reported peak is a
+        # measured rate, so allow measurement fuzz at the low edge).
+        assert 2_000.0 * 0.9 <= result.peak_pps < 400_000.0
+
+    def test_bracket_too_low_resumes_doubling(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, bracket=(1_000.0, 2_000.0), duration=0.4, warmup=0.3,
+            refine_steps=0, payment_budget=6_000, max_probes=4,
+        )
+        # Both hints pass; the search doubles onward from 2x the high hint.
+        assert result.probes[2].offered == pytest.approx(4_000.0)
+        assert result.peak_pps >= 2_000.0
+
+    def test_bracket_too_high_walks_down(self):
+        factory = functools.partial(build_bft, 4, seed=3)
+        result = find_peak(
+            factory, bracket=(400_000.0, 800_000.0), duration=0.4, warmup=0.3,
+            refine_steps=1, payment_budget=6_000, max_probes=5,
+        )
+        assert result.probes[0].offered == pytest.approx(400_000.0)
+        # The failing low hint halves, exactly like a cold walk-down.
+        assert result.probes[1].offered == pytest.approx(200_000.0)
+        assert result.peak_pps < 400_000.0
+
+    def test_invalid_bracket_rejected(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        for bad in ((0.0, 10.0), (10.0, 10.0), (20.0, 10.0)):
+            with pytest.raises(ValueError, match="bracket"):
+                find_peak(factory, bracket=bad, max_probes=1)
+
+
+class TestPlateauFallback:
+    def test_reports_best_failing_probe_not_last(self):
+        factory = functools.partial(build_bft, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=800_000.0, duration=0.4, warmup=0.3,
+            max_probes=2, payment_budget=6_000, reuse_state=True,
+        )
+        # Both probes fail (start far beyond capacity, budget exhausted
+        # before the walk-down reaches a passing rate).
+        assert result.peak_probe_index is not None
+        winner = result.probes[result.peak_probe_index]
+        assert result.peak_pps == winner.achieved
+        assert result.peak_pps == max(p.achieved for p in result.probes)
+
+    def test_passing_search_records_winning_probe(self):
+        factory = functools.partial(build_astro2, 4, seed=3)
+        result = find_peak(
+            factory, start_rate=2_000.0, duration=0.4, warmup=0.3,
+            refine_steps=1, payment_budget=6_000, max_probes=4,
+        )
+        assert result.peak_probe_index is not None
+        assert (
+            result.probes[result.peak_probe_index].achieved == result.peak_pps
+        )
+
+
+class TestRobustnessSuite:
+    def test_single_pooled_schedule(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            robustness_mod, "execute", _fake_execute_factory(calls)
+        )
+        fig5, fig6, fig7 = run_robustness_suite(scale=_SCALES["smoke"], seed=1)
+        # One execute call holding every fault timeline of all three
+        # figures: 3 (Fig. 5) + 4 (Fig. 6) + 4 (Fig. 7).
+        assert len(calls) == 1
+        assert len(calls[0]["units"]) == 11
+        assert all(u.kind == "timeline" for u in calls[0]["units"])
+        assert calls[0]["per_job_bytes"] == job_memory_bytes(
+            _SCALES["smoke"].robustness_large_n
+        )
+        assert list(fig5.timelines) == [
+            "Consensus-Leader", "Consensus-Random", "Broadcast-Random"
+        ]
+        assert len(fig6.timelines) == 4
+        assert len(fig7.timelines) == 4
+        assert fig7.size == _SCALES["smoke"].robustness_large_n
+        # Reassembly kept figure/curve pairing intact.
+        assert fig6.timelines["Broadcast-Random"] == "timeline:Broadcast-Random"
+
+
+class TestFig3ResultProbeAccounting:
+    def test_total_probes_counts_anchors_and_cells(self):
+        result = Fig3Result(
+            sizes=[4, 10],
+            peaks={"bft": [1.0, 2.0]},
+            probe_counts={"bft": [5, 4]},
+            anchor_probes=2,
+        )
+        assert result.total_probes == 11
+
+    def test_table_still_renders_without_probe_counts(self):
+        result = Fig3Result(sizes=[4], peaks={"astro2": [100.0]})
+        assert "Astro II" in result.table()

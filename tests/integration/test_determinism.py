@@ -16,6 +16,10 @@ Two layers of guarantee:
 """
 
 import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 from repro.consensus.system import BftSystem
 from repro.core.system import Astro1System, Astro2System
@@ -143,6 +147,62 @@ def test_different_seeds_differ_in_timing():
     b = run_astro1(2)
     assert a[3] == b[3]          # same economics
     assert a[0] != b[0] or a[1] != b[1]  # different histories
+
+
+# ---------------------------------------------------------------------------
+# Hash-seed independence of the *uncovered* protocol paths
+# ---------------------------------------------------------------------------
+# The figure benchmarks are already proven PYTHONHASHSEED-independent;
+# consensus view changes and reconfiguration (membership/DBRB) were not.
+# String-keyed sets/dicts iterate in hash-seed-dependent order, so any
+# ordering leak from them into message or certificate assembly shows up
+# as differing histories between fresh interpreters with different seeds.
+
+_HASHSEED_SNIPPET = """
+import hashlib
+from repro.consensus.config import BftConfig
+from repro.consensus.system import BftSystem
+from repro.bench.fig8 import measure_astro_join_series
+
+GENESIS = {"a": 1000, "b": 1000, "c": 1000, "d": 1000}
+WORKLOAD = [("a", "b", 3), ("b", "c", 5), ("c", "d", 7), ("d", "a", 2)] * 5
+
+# Consensus view change: the view-0 leader crashes before its proposals
+# decide, forcing STOP/STOPDATA/SYNC and re-proposal under a new leader.
+config = BftConfig(num_replicas=4, request_timeout=0.4,
+                   timeout_check_interval=0.1)
+system = BftSystem(num_replicas=4, genesis=dict(GENESIS), config=config,
+                   seed=11)
+system.faults.crash(system.replicas[0].node_id, at=0.001)
+for transfer in WORKLOAD:
+    system.submit(*transfer)
+system.settle_all(max_time=30)
+replica = system.replicas[1]
+assert replica.view_changes >= 1, "scenario must exercise a view change"
+print("bft", replica.view, replica.view_changes,
+      tuple(system.settled_counts()), system.sim.now.hex(),
+      hashlib.sha256(repr(replica.state.snapshot()).encode()).hexdigest())
+
+# Reconfiguration: three consensusless joins growing one system 4 -> 6.
+latencies = measure_astro_join_series([4, 5, 6], seed=3)
+print("reconfig", [latency.hex() for latency in latencies])
+"""
+
+
+def _run_fresh_interpreter(hashseed: int) -> str:
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed), PYTHONPATH=str(src))
+    result = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_SNIPPET],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_view_change_and_reconfig_hashseed_independent():
+    outputs = {_run_fresh_interpreter(seed) for seed in (0, 1, 4242)}
+    assert len(outputs) == 1, f"histories diverged across hash seeds: {outputs}"
 
 
 def test_fault_injection_reproducible():
