@@ -19,11 +19,30 @@ process pool, asserts byte-identical results, and asserts the pool is
 measurably faster wall-clock (skipped on single-core machines, where a
 process pool cannot beat serial execution).
 
+Three further scenarios track the *large-N* engine speed (PR 4):
+
+* ``test_large_cell_perf`` — one giant single cell (astro2, N=32,
+  saturating open-loop rate): the wall-clock shape of a full-scale
+  Fig. 3 probe, compared against the recorded pre-PR4 engine baseline
+  with the same machine calibration (floor: a no-regression guard set
+  below 1.0 to absorb run-to-run noise; the exact multiple is tracked);
+* ``test_arrival_train_speedup`` — direct A/B of the arrival-train
+  broadcast path against the per-copy path on the all-to-all system
+  (astro1, N=32), asserting byte-identical histories and a measurable
+  single-core win;
+* ``test_sharded_cell_speedup`` — the intra-simulation sharded engine
+  (``repro.sim.shard``) against the serial engine on the large cell,
+  asserting byte-identical results and ≥ 1.4x wall-clock on ≥ 2 cores
+  (skipped on single-core machines).
+
 Override knobs (environment):
 
 * ``REPRO_PERF_MIN_SPEEDUP`` — assertion floor (default 1.6).
 * ``REPRO_PERF_JSON`` — output path (default ``BENCH_perf.json``).
 * ``REPRO_PAR_MIN_SPEEDUP`` — parallel-sweep floor (default 1.25).
+* ``REPRO_PERF_LARGE_MIN_SPEEDUP`` — large-cell floor (default 0.85).
+* ``REPRO_TRAIN_MIN_SPEEDUP`` — arrival-train floor (default 1.02).
+* ``REPRO_SHARD_MIN_SPEEDUP`` — sharded-engine floor (default 1.4).
 """
 
 from __future__ import annotations
@@ -43,6 +62,10 @@ from repro.bench.profile import (
     DEFAULT_WARMUP,
     standard_run,
 )
+from repro.bench.runner import run_open_loop
+from repro.bench.systems import SYSTEM_BUILDERS
+from repro.sim.network import Network
+from repro.sim.shard import ShardedOpenLoop, state_fingerprints
 
 # ---------------------------------------------------------------------------
 # Recorded on the seed machine (same host that measured SEED_BASELINE_PPS).
@@ -57,6 +80,76 @@ SEED_BASELINE_PPS = 37_066.0
 SEED_CALIBRATION_SECONDS = 0.0589
 
 TRIALS = 3
+
+# ---------------------------------------------------------------------------
+# Large-cell scenario (PR 4): astro2, N=32, saturating open-loop probe —
+# the wall-clock shape of one full-scale Fig. 3 cell.  Baseline recorded
+# against the pre-PR4 engine (commit 1c3e755) on the machine whose
+# calibration kernel took LARGE_CALIBRATION_SECONDS.
+# ---------------------------------------------------------------------------
+
+LARGE_SYSTEM = "astro2"
+LARGE_N = 32
+LARGE_RATE = 8_000.0
+LARGE_DURATION = 2.0
+LARGE_WARMUP = 0.5
+LARGE_SEED = 2
+LARGE_TRIALS = 2
+
+#: Best-of-5 pps of the pre-PR4 engine on the large-cell scenario
+#: (interleaved A/B against the PR4 engine on the same host; this cell
+#: is CREDIT-unicast-bound, so the arrival train leaves it neutral —
+#: the train's win is asserted by test_arrival_train_speedup on the
+#: all-to-all system, and the sharded engine by test_sharded_cell_speedup).
+LARGE_BASELINE_PPS = 2_332.7
+LARGE_CALIBRATION_SECONDS = 0.0580
+
+
+def _large_cell_run(system=LARGE_SYSTEM, n=LARGE_N, rate=LARGE_RATE,
+                    duration=LARGE_DURATION, warmup=LARGE_WARMUP,
+                    seed=LARGE_SEED):
+    built = SYSTEM_BUILDERS[system](n, seed=seed)
+    start = time.perf_counter()
+    result = run_open_loop(
+        built, rate=rate, duration=duration, warmup=warmup, seed=seed
+    )
+    return built, result, time.perf_counter() - start
+
+
+def _merge_perf_report(updates):
+    """Merge keys into BENCH_perf.json (create if absent).
+
+    Every scenario in this file writes through here, so tests never
+    truncate each other's sections regardless of execution order.
+    """
+    path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        report = {}
+    report.update(updates)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def _update_perf_report(key, payload):
+    """Merge one scenario section into BENCH_perf.json."""
+    return _merge_perf_report({key: payload})
+
+
+def _result_fingerprint(result):
+    return (
+        result.offered,
+        result.achieved,
+        result.injected,
+        result.confirmed,
+        result.latency.count,
+        result.latency.mean.hex() if result.latency.count else None,
+        result.latency.p95.hex() if result.latency.count else None,
+    )
 
 
 def _calibration_seconds() -> float:
@@ -114,10 +207,7 @@ def test_perf_regression(scale):
         "speedup_vs_seed": round(speedup, 3),
         "bench_scale": scale.name,
     }
-    path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    path = _merge_perf_report(report)
 
     print()
     print(
@@ -152,6 +242,11 @@ def test_parallel_sweep_speedup(scale):
                 system="astro2", size=4, start_rate=4000.0,
                 duration=0.5, warmup=0.3, refine_steps=1,
                 payment_budget=8000, max_probes=4, reuse_state=True,
+                # Pin the serial engine: this test times pool-vs-serial,
+                # and a REPRO_SIM_SHARDS env (the CI shard-matrix job)
+                # must not switch the serial arm onto the sharded engine
+                # while the daemonic pool arm silently cannot follow.
+                sim_shards=1,
             ),
             seed=derive_seed(DEFAULT_SEED, "parallel-speedup", index),
             tag=index,
@@ -184,4 +279,142 @@ def test_parallel_sweep_speedup(scale):
     assert speedup >= min_speedup, (
         f"parallel sweep not faster: serial {serial_seconds:.2f}s, "
         f"parallel {parallel_seconds:.2f}s ({speedup:.2f}x < {min_speedup}x)"
+    )
+
+
+def test_large_cell_perf(scale):
+    """One giant single cell must not regress vs the pre-PR4 engine."""
+    calibration = _calibration_seconds()
+    machine_factor = LARGE_CALIBRATION_SECONDS / calibration
+    expected_baseline_pps = LARGE_BASELINE_PPS * machine_factor
+
+    best_pps = 0.0
+    best = None
+    for _ in range(LARGE_TRIALS):
+        _built, result, wall = _large_cell_run()
+        pps = result.confirmed / wall
+        if best is None or pps > best_pps:
+            best_pps, best = pps, result
+    speedup = best_pps / expected_baseline_pps
+
+    path = _update_perf_report("large_cell", {
+        "scenario": {
+            "system": LARGE_SYSTEM, "num_replicas": LARGE_N,
+            "rate": LARGE_RATE, "duration": LARGE_DURATION,
+            "warmup": LARGE_WARMUP, "seed": LARGE_SEED,
+            "trials": LARGE_TRIALS,
+        },
+        "payments_per_wall_second": round(best_pps, 1),
+        "confirmed_per_trial": best.confirmed,
+        "baseline_pps": LARGE_BASELINE_PPS,
+        "machine_factor": machine_factor,
+        "speedup_vs_pre_pr4": round(speedup, 3),
+    })
+    print(f"\n[perf] large cell ({LARGE_SYSTEM} N={LARGE_N}): "
+          f"{best_pps:,.0f} pay/wall-sec = {speedup:.2f}x the pre-PR4 "
+          f"engine (report: {path})")
+
+    # A no-regression guard, set below 1.0 to absorb the ±10% run-to-run
+    # noise this interpreter-bound scenario shows on shared vCPUs; the
+    # exact multiple is what the report tracks.
+    floor = float(os.environ.get("REPRO_PERF_LARGE_MIN_SPEEDUP", "0.85"))
+    assert speedup >= floor, (
+        f"large-cell perf regressed: {best_pps:,.0f} pay/wall-sec is "
+        f"{speedup:.2f}x the calibrated pre-PR4 baseline "
+        f"({expected_baseline_pps:,.0f}); floor is {floor}x"
+    )
+
+
+def test_arrival_train_speedup(scale):
+    """The arrival-train broadcast must beat the per-copy path on the
+    all-to-all system at large N — with a byte-identical history."""
+    original = Network.TRAIN_MIN
+
+    def run_once(train_min):
+        Network.TRAIN_MIN = train_min
+        try:
+            built, result, wall = _large_cell_run(
+                system="astro1", n=32, rate=3_000.0, duration=1.5, warmup=0.4
+            )
+        finally:
+            Network.TRAIN_MIN = original
+        return result, wall, state_fingerprints(built)
+
+    train_result, train_wall, train_state = run_once(original)
+    percopy_result, percopy_wall, percopy_state = run_once(10**9)
+    # First the determinism claim: same history, bit for bit.
+    assert _result_fingerprint(train_result) == _result_fingerprint(percopy_result)
+    assert train_state == percopy_state
+    # Best-of-2 walls to absorb timer noise.
+    train_result2, train_wall2, _ = run_once(original)
+    percopy_result2, percopy_wall2, _ = run_once(10**9)
+    assert _result_fingerprint(train_result2) == _result_fingerprint(percopy_result2)
+    speedup = min(percopy_wall, percopy_wall2) / min(train_wall, train_wall2)
+
+    path = _update_perf_report("arrival_train", {
+        "scenario": {"system": "astro1", "num_replicas": 32,
+                     "rate": 3_000.0, "duration": 1.5, "warmup": 0.4,
+                     "seed": LARGE_SEED},
+        "train_wall_seconds": round(min(train_wall, train_wall2), 3),
+        "per_copy_wall_seconds": round(min(percopy_wall, percopy_wall2), 3),
+        "speedup": round(speedup, 3),
+    })
+    print(f"\n[perf] arrival train (astro1 N=32): {speedup:.3f}x vs "
+          f"per-copy broadcast (report: {path})")
+
+    floor = float(os.environ.get("REPRO_TRAIN_MIN_SPEEDUP", "1.02"))
+    assert speedup >= floor, (
+        f"arrival-train broadcast not faster: {speedup:.3f}x < {floor}x "
+        f"(train {min(train_wall, train_wall2):.2f}s vs per-copy "
+        f"{min(percopy_wall, percopy_wall2):.2f}s)"
+    )
+
+
+def test_sharded_cell_speedup(scale):
+    """REPRO_SIM_SHARDS=2 must beat the serial engine on the large cell
+    on >= 2 cores — with byte-identical merged results."""
+    cores = usable_cpus()
+    if cores < 2:
+        pytest.skip(f"needs >= 2 cores for a sharded speedup (have {cores})")
+
+    built, serial_result, serial_wall = _large_cell_run()
+    serial_state = state_fingerprints(built)
+
+    spec = dict(system=LARGE_SYSTEM, size=LARGE_N, seed=LARGE_SEED,
+                builder_kwargs=None)
+    with ShardedOpenLoop(spec, shards=2) as cluster:
+        # Build outside the timed window, exactly like the serial
+        # measurement (the factory call happens before its clock starts).
+        cluster.prepare()
+        start = time.perf_counter()
+        sharded_result = cluster.probe(
+            rate=LARGE_RATE, duration=LARGE_DURATION, warmup=LARGE_WARMUP,
+            fresh=False, seed=LARGE_SEED,
+        )
+        sharded_wall = time.perf_counter() - start
+        sharded_state = cluster.fingerprint()["state"]
+
+    # Determinism first: the sharded engine must not change a single bit.
+    assert _result_fingerprint(sharded_result) == _result_fingerprint(serial_result)
+    assert sharded_state == serial_state
+
+    speedup = serial_wall / sharded_wall
+    path = _update_perf_report("sharded_cell", {
+        "scenario": {"system": LARGE_SYSTEM, "num_replicas": LARGE_N,
+                     "rate": LARGE_RATE, "duration": LARGE_DURATION,
+                     "warmup": LARGE_WARMUP, "seed": LARGE_SEED,
+                     "shards": 2},
+        "serial_wall_seconds": round(serial_wall, 3),
+        "sharded_wall_seconds": round(sharded_wall, 3),
+        "speedup": round(speedup, 3),
+        "cores": cores,
+    })
+    print(f"\n[perf] sharded cell ({LARGE_SYSTEM} N={LARGE_N}, shards=2): "
+          f"serial {serial_wall:.2f}s vs sharded {sharded_wall:.2f}s = "
+          f"{speedup:.2f}x on {cores} cores (report: {path})")
+
+    floor = float(os.environ.get("REPRO_SHARD_MIN_SPEEDUP", "1.4"))
+    assert speedup >= floor, (
+        f"sharded engine not fast enough: serial {serial_wall:.2f}s vs "
+        f"sharded {sharded_wall:.2f}s ({speedup:.2f}x < {floor}x)"
     )

@@ -70,7 +70,7 @@ def _probe_ok(result: RunResult, envelope: float) -> bool:
 
 
 def find_peak(
-    factory: Callable[[], Any],
+    factory: Optional[Callable[[], Any]],
     start_rate: float = 500.0,
     latency_envelope: float = 1.5,
     duration: float = 1.5,
@@ -83,6 +83,7 @@ def find_peak(
     max_probes: Optional[int] = None,
     reuse_state: bool = False,
     bracket: Optional[Tuple[float, float]] = None,
+    probe_runner: Optional[Callable[[float, float, float, bool], RunResult]] = None,
 ) -> PeakResult:
     """Find peak sustainable throughput for systems built by ``factory``.
 
@@ -115,32 +116,54 @@ def find_peak(
     ``high_hint`` resumes doubling above it, a failing ``low_hint`` falls
     into the standard walk-down.  ``start_rate`` is ignored when a
     bracket is supplied.
+
+    ``probe_runner(rate, duration, warmup, fresh)`` replaces the
+    build-and-measure cycle — the hook the sharded engine
+    (:class:`repro.sim.shard.ShardedOpenLoop`) plugs in.  ``fresh``
+    encodes the same warm-reuse decision the serial path makes with its
+    one-slot system cache, so both paths run identical probe sequences;
+    ``factory``/``workload_factory`` are unused (``factory`` may be
+    ``None``).
     """
     probes: List[RunResult] = []
     #: One-slot cache holding a system left quiesced by a passing probe.
     warm: List[Any] = []
+    #: probe_runner mode: did the previous probe leave the (persistent,
+    #: worker-held) system quiesced?  Mirrors the warm cache exactly.
+    warm_ready = False
 
     def probe(rate: float) -> RunResult:
-        system = warm.pop() if (reuse_state and warm) else factory()
-        workload = workload_factory(system) if workload_factory is not None else None
+        nonlocal warm_ready
         probe_duration, probe_warmup = shrink_window(
             rate, duration, warmup, payment_budget
         )
-        result = run_open_loop(
-            system,
-            rate=rate,
-            duration=probe_duration,
-            warmup=probe_warmup,
-            seed=seed,
-            workload=workload,
-        )
+        if probe_runner is not None:
+            system = None
+            fresh = not (reuse_state and warm_ready)
+            result = probe_runner(rate, probe_duration, probe_warmup, fresh)
+        else:
+            system = warm.pop() if (reuse_state and warm) else factory()
+            workload = (
+                workload_factory(system) if workload_factory is not None else None
+            )
+            result = run_open_loop(
+                system,
+                rate=rate,
+                duration=probe_duration,
+                warmup=probe_warmup,
+                seed=seed,
+                workload=workload,
+            )
         probes.append(result)
-        if (
+        quiesced = (
             reuse_state
             and _probe_ok(result, latency_envelope)
             and result.injected - result.confirmed
             <= max(16, result.injected // 100)
-        ):
+        )
+        if probe_runner is not None:
+            warm_ready = quiesced
+        elif quiesced:
             warm.append(system)
         return result
 

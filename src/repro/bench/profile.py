@@ -6,25 +6,31 @@ exercises.  Run it before and after touching any hot-path module::
 
     PYTHONPATH=src python -m repro.bench.profile
     PYTHONPATH=src python -m repro.bench.profile --rate 32000 --sort cumulative
-    PYTHONPATH=src python -m repro.bench.profile --system astro1 -n 10
+    PYTHONPATH=src python -m repro.bench.profile --system astro1 --size 32
+    PYTHONPATH=src python -m repro.bench.profile --size 32 --shards 2
 
 Prints the achieved simulated-payments-per-wall-clock-second (the metric
-``benchmarks/test_perf_regression.py`` guards) followed by the profile
-table.
+``benchmarks/test_perf_regression.py`` guards), a phase breakdown
+(crypto / network / scheduler / protocol / workload) so hot-path PRs can
+cite where the time went, and the full profile table.  ``--shards N``
+runs the probe on the intra-simulation sharded engine
+(:mod:`repro.sim.shard`); the work then happens in worker processes, so
+only wall-clock is reported (cProfile sees the coordinator only).
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import time
-from typing import Any
+from typing import Any, Dict, List, Tuple
 
 from .runner import RunResult, run_open_loop
 from .systems import SYSTEM_BUILDERS
 
-__all__ = ["standard_run", "main"]
+__all__ = ["standard_run", "phase_breakdown", "main"]
 
 #: Defaults of the "standard Astro II run": N = 3f+1 = 4, EU WAN latency,
 #: offered load high enough to keep every replica's settle pipeline busy
@@ -35,6 +41,27 @@ DEFAULT_RATE = 16_000.0
 DEFAULT_DURATION = 2.0
 DEFAULT_WARMUP = 0.5
 DEFAULT_SEED = 2
+
+#: Phase classification of profile rows, by source path.  Order matters:
+#: first match wins (network before the catch-all sim prefix).
+_PHASES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("crypto", ("/repro/crypto/",)),
+    (
+        "network",
+        (
+            "/repro/sim/network.py",
+            "/repro/sim/resources.py",
+            "/repro/sim/latency.py",
+            "/repro/sim/node.py",
+        ),
+    ),
+    ("scheduler", ("/repro/sim/events.py",)),
+    (
+        "protocol",
+        ("/repro/core/", "/repro/brb/", "/repro/consensus/", "/repro/reconfig/"),
+    ),
+    ("workload", ("/repro/workloads/", "/repro/bench/")),
+)
 
 
 def standard_run(
@@ -60,6 +87,68 @@ def standard_run(
     return result, wall
 
 
+def sharded_run(
+    system_name: str,
+    num_replicas: int,
+    shards: int,
+    rate: float = DEFAULT_RATE,
+    duration: float = DEFAULT_DURATION,
+    warmup: float = DEFAULT_WARMUP,
+    seed: int = DEFAULT_SEED,
+) -> tuple:
+    """The standard run on the intra-simulation sharded engine."""
+    from ..sim.shard import ShardedOpenLoop
+
+    spec = dict(system=system_name, size=num_replicas, seed=seed,
+                builder_kwargs=None)
+    with ShardedOpenLoop(spec, shards=shards) as cluster:
+        # Build outside the timed window, like standard_run (which calls
+        # the factory before starting its clock) — otherwise the sharded
+        # pps would be understated by worker-side construction.
+        cluster.prepare()
+        start = time.perf_counter()
+        result = cluster.probe(
+            rate=rate, duration=duration, warmup=warmup, fresh=False, seed=seed
+        )
+        wall = time.perf_counter() - start
+    return result, wall
+
+
+def phase_breakdown(stats: pstats.Stats) -> Dict[str, float]:
+    """Total in-function seconds per engine phase.
+
+    Classifies every profiled function by its source path into crypto /
+    network / scheduler / protocol / workload / other, so successive
+    perf PRs can cite exactly which layer they moved.  Built-in heapq
+    calls count as scheduler time (the calendar queue is the scheduler's
+    data structure regardless of which module issues the push).
+    """
+    totals: Dict[str, float] = {name: 0.0 for name, _needles in _PHASES}
+    totals["other"] = 0.0
+    for (filename, _line, funcname), entry in stats.stats.items():
+        tottime = entry[2]
+        phase = "other"
+        if filename == "~":
+            if "heap" in funcname:
+                phase = "scheduler"
+        else:
+            normalized = filename.replace(os.sep, "/")
+            for name, needles in _PHASES:
+                if any(needle in normalized for needle in needles):
+                    phase = name
+                    break
+        totals[phase] += tottime
+    return totals
+
+
+def _print_phase_breakdown(stats: pstats.Stats) -> None:
+    totals = phase_breakdown(stats)
+    grand = sum(totals.values()) or 1.0
+    print("[profile] phase breakdown (in-function seconds):")
+    for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"[profile]   {name:<10} {seconds:7.3f}s  {100 * seconds / grand:5.1f}%")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.profile",
@@ -68,8 +157,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--system", choices=sorted(SYSTEM_BUILDERS), default=DEFAULT_SYSTEM
     )
-    parser.add_argument("-n", "--num-replicas", type=int,
-                        default=DEFAULT_NUM_REPLICAS)
+    parser.add_argument("-n", "--num-replicas", "--size", type=int,
+                        dest="num_replicas", default=DEFAULT_NUM_REPLICAS,
+                        help="deployment size N (--size is an alias)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="run the probe on the intra-simulation sharded "
+                             "engine with this many worker processes "
+                             "(REPRO_SIM_SHARDS equivalent; Astro systems "
+                             "only, disables cProfile)")
     parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
                         help="offered payments/sec (simulated)")
     parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
@@ -84,22 +179,37 @@ def main(argv=None) -> int:
                         help="timing only (no cProfile overhead)")
     args = parser.parse_args(argv)
 
-    run = lambda: standard_run(  # noqa: E731 - tiny closure over args
-        args.system, args.num_replicas, args.rate, args.duration,
-        args.warmup, args.seed,
-    )
-    if args.no_profile:
-        result, wall = run()
+    if args.shards > 1:
+        from ..sim.shard import ShardingUnsupported
+
+        # The simulation executes in shard worker processes; profiling
+        # the coordinator would only show pipe waits.
+        try:
+            result, wall = sharded_run(
+                args.system, args.num_replicas, args.shards, args.rate,
+                args.duration, args.warmup, args.seed,
+            )
+        except ShardingUnsupported as exc:
+            parser.error(f"--shards {args.shards}: {exc}")
         profiler = None
     else:
-        profiler = cProfile.Profile()
-        profiler.enable()
-        result, wall = run()
-        profiler.disable()
+        run = lambda: standard_run(  # noqa: E731 - tiny closure over args
+            args.system, args.num_replicas, args.rate, args.duration,
+            args.warmup, args.seed,
+        )
+        if args.no_profile:
+            result, wall = run()
+            profiler = None
+        else:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result, wall = run()
+            profiler.disable()
 
     pps = result.confirmed / wall if wall > 0 else float("inf")
+    shard_note = f" shards={args.shards}" if args.shards > 1 else ""
     print(
-        f"[profile] system={args.system} N={args.num_replicas} "
+        f"[profile] system={args.system} N={args.num_replicas}{shard_note} "
         f"rate={args.rate:.0f}/s window={args.duration}s"
     )
     print(
@@ -108,7 +218,11 @@ def main(argv=None) -> int:
     )
     if profiler is not None:
         stats = pstats.Stats(profiler)
+        _print_phase_breakdown(stats)
         stats.sort_stats(args.sort).print_stats(args.limit)
+    elif args.shards > 1:
+        print("[profile] (phase breakdown unavailable: work ran in shard "
+              "worker processes)")
     return 0
 
 

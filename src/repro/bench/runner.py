@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 from ..sim.metrics import LatencyRecorder, LatencySummary, ThroughputMeter
 from ..workloads.drivers import OpenLoopDriver
 from ..workloads.uniform import UniformWorkload
 from .systems import client_ids_of
 
-__all__ = ["RunResult", "run_open_loop"]
+__all__ = ["RunResult", "run_open_loop", "setup_open_loop", "finish_open_loop"]
 
 
 @dataclass
@@ -39,6 +39,63 @@ class RunResult:
         )
 
 
+def setup_open_loop(
+    system: Any,
+    rate: float,
+    duration: float,
+    warmup: float,
+    workload: Optional[Any] = None,
+    seed: int = 0,
+    recorder: Optional[LatencyRecorder] = None,
+) -> Tuple[OpenLoopDriver, ThroughputMeter, LatencyRecorder, float, float]:
+    """Install the standard open-loop measurement on ``system``.
+
+    Returns ``(driver, meter, recorder, window_start, window_end)``.
+    Factored out of :func:`run_open_loop` so the sharded engine
+    (:mod:`repro.sim.shard`) replicates the *exact* serial measurement
+    discipline in every worker — same workload construction, meter
+    bucket width, and observation window.  A caller-supplied
+    ``recorder`` must expose ``record(submitted_at, completed_at)``; its
+    window attributes are (re)pinned here.
+    """
+    if workload is None:
+        workload = UniformWorkload(client_ids_of(system), seed=seed)
+    # The meter only counts whole buckets inside the window, so the bucket
+    # width must shrink with the window: a 0.4s probe window against fixed
+    # 0.25s buckets can contain zero aligned buckets and report a rate of
+    # exactly 0 — which a peak search misreads as total saturation.
+    meter = ThroughputMeter(bucket_width=min(0.25, duration / 4))
+    window_start = system.sim.now + warmup
+    window_end = window_start + duration
+    if recorder is None:
+        recorder = LatencyRecorder(window_start, window_end)
+    else:
+        recorder.window_start = window_start
+        recorder.window_end = window_end
+    driver = OpenLoopDriver(
+        system,
+        workload,
+        rate=rate,
+        duration=warmup + duration,
+        start=system.sim.now,
+        meter=meter,
+        recorder=recorder,
+    )
+    return driver, meter, recorder, window_start, window_end
+
+
+def finish_open_loop(system: Any, driver: OpenLoopDriver) -> None:
+    """Detach a finished run's observer from ``system``.
+
+    When the caller reuses the system for a later run (peak-search warm
+    probes), a stale hook would keep counting confirmations into this
+    driver's meters and double-count them against the next run's.
+    """
+    remove_hook = getattr(system, "remove_confirm_hook", None)
+    if remove_hook is not None:
+        remove_hook(driver._on_confirm)
+
+
 def run_open_loop(
     system: Any,
     rate: float,
@@ -54,33 +111,11 @@ def run_open_loop(
     ``drain`` seconds longer so confirmations of late submissions inside
     the window are still observed.
     """
-    if workload is None:
-        workload = UniformWorkload(client_ids_of(system), seed=seed)
-    # The meter only counts whole buckets inside the window, so the bucket
-    # width must shrink with the window: a 0.4s probe window against fixed
-    # 0.25s buckets can contain zero aligned buckets and report a rate of
-    # exactly 0 — which a peak search misreads as total saturation.
-    meter = ThroughputMeter(bucket_width=min(0.25, duration / 4))
-    window_start = system.sim.now + warmup
-    window_end = window_start + duration
-    recorder = LatencyRecorder(window_start, window_end)
-    driver = OpenLoopDriver(
-        system,
-        workload,
-        rate=rate,
-        duration=warmup + duration,
-        start=system.sim.now,
-        meter=meter,
-        recorder=recorder,
+    driver, meter, recorder, window_start, window_end = setup_open_loop(
+        system, rate, duration, warmup, workload=workload, seed=seed
     )
     system.run(window_end + drain)
-    # Detach this run's observer: when the caller reuses the system for a
-    # later run (peak-search warm probes), a stale hook would keep
-    # counting confirmations into this driver's meters and double-count
-    # them against the next run's.
-    remove_hook = getattr(system, "remove_confirm_hook", None)
-    if remove_hook is not None:
-        remove_hook(driver._on_confirm)
+    finish_open_loop(system, driver)
     achieved = meter.rate(window_start, window_end)
     return RunResult(
         offered=rate,

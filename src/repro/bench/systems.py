@@ -3,6 +3,15 @@
 One factory per evaluated system (Astro I, Astro II, BFT-SMaRt baseline),
 with the paper's defaults: EU WAN placement, t2.medium-like resources,
 batches of 256, N = 3f+1.
+
+The Astro builders construct their WAN model with ``pair_streams=True``:
+each (src, dst) pair draws its latency jitter from an independent
+deterministic stream, which makes measured histories a pure function of
+scenario + seed regardless of global send interleaving — the property
+intra-simulation sharding (:mod:`repro.sim.shard`) relies on, applied to
+the serial engine too so ``REPRO_SIM_SHARDS=1/2/4`` are byte-identical.
+Same jitter distribution as before, different draws, so figure results
+shift within measurement noise relative to the shared-RNG sampling.
 """
 
 from __future__ import annotations
@@ -53,7 +62,9 @@ def build_astro1(
         genesis=genesis,
         config=config,
         seed=seed,
-        latency=europe_wan(num_replicas + len(genesis) + 64, seed=seed),
+        latency=europe_wan(
+            num_replicas + len(genesis) + 64, seed=seed, pair_streams=True
+        ),
     )
 
 
@@ -78,7 +89,9 @@ def build_astro2(
         genesis=genesis,
         config=config,
         seed=seed,
-        latency=europe_wan(total + len(genesis) + 64, seed=seed),
+        latency=europe_wan(
+            total + len(genesis) + 64, seed=seed, pair_streams=True
+        ),
     )
 
 

@@ -81,6 +81,11 @@ class Batch:
             )
         return value
 
+    def __reduce__(self):
+        # Compact cross-process pickling (repro.sim.shard): items only;
+        # sizes and memoized digests are recomputed on arrival.
+        return (Batch, (self.items,))
+
     def __iter__(self):
         return iter(self.items)
 

@@ -41,6 +41,9 @@ class BrbPrepare:
         self.payload = payload
         self.size = size
 
+    def __reduce__(self):
+        return (BrbPrepare, (self.seq, self.payload, self.size))
+
 
 class BrbEcho:
     __slots__ = ("origin", "seq", "payload", "size")
@@ -51,6 +54,9 @@ class BrbEcho:
         self.payload = payload
         self.size = size
 
+    def __reduce__(self):
+        return (BrbEcho, (self.origin, self.seq, self.payload, self.size))
+
 
 class BrbReady:
     __slots__ = ("origin", "seq", "payload", "size")
@@ -60,6 +66,9 @@ class BrbReady:
         self.seq = seq
         self.payload = payload
         self.size = size
+
+    def __reduce__(self):
+        return (BrbReady, (self.origin, self.seq, self.payload, self.size))
 
 
 class _Instance:

@@ -47,6 +47,9 @@ class SbPrepare:
         self.payload = payload
         self.size = size
 
+    def __reduce__(self):
+        return (SbPrepare, (self.seq, self.payload, self.size))
+
 
 class SbAck:
     __slots__ = ("origin", "seq", "payload_digest", "signature")
@@ -58,6 +61,10 @@ class SbAck:
         self.seq = seq
         self.payload_digest = payload_digest
         self.signature = signature
+
+    def __reduce__(self):
+        return (SbAck, (self.origin, self.seq, self.payload_digest,
+                        self.signature))
 
 
 class SbCommit:
@@ -76,6 +83,10 @@ class SbCommit:
         self.payload_digest = payload_digest
         self.proof = proof
         self.size = size
+
+    def __reduce__(self):
+        return (SbCommit, (self.origin, self.seq, self.payload_digest,
+                           self.proof, self.size))
 
 
 def _ack_content(origin: int, seq: int, payload_digest: Digest) -> tuple:

@@ -114,6 +114,17 @@ class CreditMessage:
         signature = sign(key, credit_content(shard_id, batch_digest))
         return cls(shard_id, payments, signature, subbatch_digest=batch_digest)
 
+    def __reduce__(self):
+        # Compact cross-process pickling (repro.sim.shard).  The digest
+        # ships along: it is a pure function of content and the shared
+        # worker hash seed, and recomputing it per copy would repeat an
+        # O(|sub-batch|) hash on the receiving shard.
+        return (
+            CreditMessage,
+            (self.shard_id, self.payments, self.signature,
+             self.subbatch_digest),
+        )
+
 
 class DependencyCertificate:
     """f+1 signed approvals proving one incoming payment exists (§IV-A).
@@ -144,6 +155,15 @@ class DependencyCertificate:
         )
         self.signatures = signatures
         self._canonical: Optional[tuple] = None
+
+    def __reduce__(self):
+        # Compact cross-process pickling (repro.sim.shard); the memoized
+        # canonical form is rebuilt on demand at the receiver.
+        return (
+            DependencyCertificate,
+            (self.payment, self.shard_id, self.subbatch, self.signatures,
+             self.subbatch_digest),
+        )
 
     @property
     def dep_id(self) -> PaymentId:

@@ -163,6 +163,17 @@ class _AstroSystemBase:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def replica_node_ids(self) -> List[int]:
+        """Node ids of all replicas, ascending.
+
+        The partitioning domain of the sharded engine
+        (:mod:`repro.sim.shard`): every replica is owned by exactly one
+        shard worker; clients drive the system through :meth:`submit`
+        and are not separate nodes in open-loop runs.
+        """
+        return sorted(self._replica_by_node)
+
     def replica(self, index: int) -> AstroReplicaBase:
         return self.replicas[index]
 

@@ -38,6 +38,11 @@ class Signature:
         self.signer = signer
         self._token = token
 
+    def __reduce__(self):
+        # Compact cross-process pickling (repro.sim.shard): two fields,
+        # no slot-state dict.
+        return (Signature, (self.signer, self._token))
+
     def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Signature)

@@ -44,21 +44,36 @@ class Event:
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and may be cancelled with
     :meth:`cancel`.  A cancelled event stays in the calendar queue but is
-    skipped when its time comes (lazy deletion keeps scheduling O(log n)).
+    skipped when its time comes (lazy deletion keeps scheduling O(log n));
+    the owning simulator compacts the queue when cancelled entries come to
+    dominate it (see :meth:`Simulator._compact`).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -94,6 +109,10 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self.events_executed: int = 0
+        #: Cancelled-but-not-yet-popped entries currently in the heap.
+        self._cancelled_pending: int = 0
+        #: Total queue compactions performed (observability / tests).
+        self.compactions: int = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -110,7 +129,7 @@ class Simulator:
             )
         seq = self._seq
         self._seq = seq + 1
-        event = Event(time, seq, fn, args)
+        event = Event(time, seq, fn, args, self)
         _heappush(self._heap, (time, seq, None, event))
         return event
 
@@ -182,7 +201,12 @@ class Simulator:
                 if fn is None:
                     event = entry[3]
                     if event.cancelled:
+                        self._cancelled_pending -= 1
                         continue
+                    # Detach before firing: a cancel() after the event has
+                    # left the queue must not be counted as a queued
+                    # cancellation (the entry is gone already).
+                    event.sim = None
                     self.now = time
                     event.fn(*event.args)
                 else:
@@ -207,10 +231,62 @@ class Simulator:
             )
         return executed
 
+    # ------------------------------------------------------------------
+    # Calendar hygiene
+    # ------------------------------------------------------------------
+    #: Compaction never triggers below this queue size: tiny queues are
+    #: cheap to scan at pop time and rebuilding them buys nothing.
+    _COMPACT_MIN_HEAP = 64
+
+    def _note_cancel(self) -> None:
+        """Account one lazy cancellation; compact when they dominate.
+
+        Timeout-heavy runs (batch-delay timers cancelled on every full
+        batch, BFT request timeouts) otherwise grow the calendar without
+        bound: a cancelled entry is only reclaimed when its — possibly
+        far-future — timestamp is reached.
+        """
+        self._cancelled_pending += 1
+        heap = self._heap
+        if (
+            len(heap) >= self._COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: :meth:`run` holds a reference to the heap list
+        across callbacks, and a callback may cancel enough events to
+        trigger compaction mid-run.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if entry[2] is not None or not entry[3].cancelled
+        ]
+        heapq.heapify(heap)
+        self._cancelled_pending = 0
+        self.compactions += 1
+
     @property
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def pending_live(self) -> int:
+        """Queued events that will actually fire."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def pending_cancelled(self) -> int:
+        """Queued entries that are lazily cancelled (awaiting reclaim)."""
+        return self._cancelled_pending
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} pending={self.pending}>"
+        return (
+            f"<Simulator now={self.now:.6f} pending={self.pending} "
+            f"(live={self.pending_live}, cancelled={self.pending_cancelled})>"
+        )

@@ -47,6 +47,69 @@ class LatencyModel:
         """Mean one-way delay (used by analytic helpers and tests)."""
         raise NotImplementedError
 
+    def min_delay(self) -> float:
+        """Smallest one-way delay any :meth:`sample` call can return.
+
+        This is the *lookahead contract* of conservative parallel
+        simulation (:mod:`repro.sim.shard`): no message sent at time ``t``
+        may arrive before ``t + min_delay()``, so shards can safely
+        execute ``min_delay()`` of simulated time between barriers.
+        Returning 0.0 (the conservative default) declares "no lookahead
+        available" and disables intra-simulation sharding for the model.
+        """
+        return 0.0
+
+    @property
+    def pair_decomposable(self) -> bool:
+        """True when sampling for one (src, dst) pair never consumes
+        entropy shared with another pair.
+
+        Sharded execution samples each pair's delays in the sending
+        shard; with a shared RNG the draw a pair receives would depend on
+        the global interleaving of all sends — i.e. on the shard count.
+        Only pair-decomposable models produce shard-count-independent
+        histories.
+        """
+        return False
+
+    @property
+    def continuous_delays(self) -> bool:
+        """True when per-message delays are drawn from a continuous
+        distribution, making exact arrival-time ties between distinct
+        sends measure-zero.
+
+        Sharded execution requires this: two arrivals at one node at the
+        *identical* float timestamp would be ordered by local scheduling
+        seq in the serial engine but by the canonical barrier merge in a
+        sharded run — and which pairs cross shards depends on the
+        partition, so tie order would be shard-count-dependent.  With
+        continuous jitter such ties cannot occur (up to float
+        coincidence), which is what makes the byte-identity guarantee
+        hold.
+        """
+        return False
+
+    def shard_partition(
+        self, node_ids: Sequence[int], shards: int
+    ) -> Tuple[Dict[int, int], float]:
+        """Assign nodes to shards; return ``(owner map, cross-shard lookahead)``.
+
+        The partition choice is pure performance — histories are
+        partition-independent — but the *lookahead* is the minimum delay
+        between nodes in **different** shards, which bounds how much
+        simulated time shards may run between barriers.  The default is
+        topology-blind round-robin with the global :meth:`min_delay`;
+        topology-aware models override this to co-locate close nodes so
+        every cross-shard pair is a slow pair (e.g.
+        :class:`RegionLatency` keeps each region's replicas in one
+        shard, widening the window from the intra-region floor to the
+        inter-region floor — an order of magnitude fewer barriers).
+        """
+        return (
+            {node_id: node_id % shards for node_id in node_ids},
+            self.min_delay(),
+        )
+
 
 class ConstantLatency(LatencyModel):
     """Every pair of nodes observes the same fixed one-way delay."""
@@ -62,22 +125,83 @@ class ConstantLatency(LatencyModel):
     def expected(self, src: int, dst: int) -> float:
         return self.delay
 
+    def min_delay(self) -> float:
+        return self.delay
+
+    @property
+    def pair_decomposable(self) -> bool:
+        return True  # stateless: no entropy consumed at all
+
+
+class _PairStreams:
+    """Per-(src, dst) deterministic RNG streams.
+
+    Each pair draws from its own :class:`random.Random` seeded by a pure
+    function of ``(seed, src, dst)``; the n-th message src→dst receives
+    the n-th draw of that stream regardless of how sends from *other*
+    pairs interleave.  This is what makes a jittered model
+    pair-decomposable (and therefore usable under intra-simulation
+    sharding): a pair's draw index equals the number of prior src→dst
+    messages, which is itself a deterministic function of the protocol
+    history.  String seeds go through ``random.Random``'s SHA-512 path,
+    so streams are uncorrelated and PYTHONHASHSEED-independent.
+    """
+
+    __slots__ = ("_seed", "_streams")
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._streams: Dict[Tuple[int, int], random.Random] = {}
+
+    def uniform(self, src: int, dst: int, a: float, b: float) -> float:
+        key = (src, dst)
+        rng = self._streams.get(key)
+        if rng is None:
+            rng = self._streams[key] = random.Random(
+                f"pair-latency:{self._seed}:{src}:{dst}"
+            )
+        return rng.uniform(a, b)
+
 
 class UniformLatency(LatencyModel):
-    """One-way delay drawn uniformly from [low, high], per message."""
+    """One-way delay drawn uniformly from [low, high], per message.
 
-    def __init__(self, low: float, high: float, seed: int = 0) -> None:
+    ``pair_streams=True`` switches from one shared RNG to a
+    deterministic per-(src, dst) stream (see :class:`_PairStreams`),
+    making histories independent of global send interleaving — required
+    for sharded execution, and harmless otherwise (same distribution,
+    different draws).
+    """
+
+    def __init__(
+        self, low: float, high: float, seed: int = 0, pair_streams: bool = False
+    ) -> None:
         if not 0 <= low <= high:
             raise ValueError(f"invalid latency range [{low}, {high}]")
         self.low = low
         self.high = high
         self._rng = random.Random(seed)
+        self._pairs = _PairStreams(seed) if pair_streams else None
 
     def sample(self, src: int, dst: int) -> float:
+        pairs = self._pairs
+        if pairs is not None:
+            return pairs.uniform(src, dst, self.low, self.high)
         return self._rng.uniform(self.low, self.high)
 
     def expected(self, src: int, dst: int) -> float:
         return (self.low + self.high) / 2.0
+
+    def min_delay(self) -> float:
+        return self.low
+
+    @property
+    def pair_decomposable(self) -> bool:
+        return self._pairs is not None
+
+    @property
+    def continuous_delays(self) -> bool:
+        return self.high > self.low
 
 
 class RegionLatency(LatencyModel):
@@ -95,6 +219,7 @@ class RegionLatency(LatencyModel):
         intra_delay: float = _INTRA_REGION_ONE_WAY,
         jitter: float = 0.10,
         seed: int = 0,
+        pair_streams: bool = False,
     ) -> None:
         self.assignment: List[str] = list(assignment)
         self.intra_delay = intra_delay
@@ -102,6 +227,9 @@ class RegionLatency(LatencyModel):
         self._rng = random.Random(seed)
         #: Bound method cached for the per-message sampling hot path.
         self._uniform = self._rng.uniform
+        #: Per-(src, dst) jitter streams (pair-decomposable mode); None
+        #: keeps the original shared-RNG sampling.
+        self._pairs = _PairStreams(seed) if pair_streams else None
         self._delays: Dict[Tuple[str, str], float] = {}
         for (a, b), delay in pair_delays.items():
             self._delays[(a, b)] = delay
@@ -130,20 +258,111 @@ class RegionLatency(LatencyModel):
         jitter = self.jitter
         if jitter <= 0:
             return base
+        pairs = self._pairs
+        if pairs is not None:
+            return base * (1.0 + pairs.uniform(src, dst, -jitter, jitter))
         return base * (1.0 + self._uniform(-jitter, jitter))
 
     def expected(self, src: int, dst: int) -> float:
         return self.base_delay(src, dst)
 
+    def min_delay(self) -> float:
+        # ``default``: a single-region mesh has no inter-region pairs.
+        smallest = min(
+            self.intra_delay, min(self._delays.values(), default=self.intra_delay)
+        )
+        jitter = self.jitter
+        if jitter > 0:
+            smallest *= 1.0 - jitter
+        return smallest
 
-def europe_wan(num_nodes: int, seed: int = 0, jitter: float = 0.10) -> RegionLatency:
+    @property
+    def pair_decomposable(self) -> bool:
+        return self.jitter <= 0 or self._pairs is not None
+
+    @property
+    def continuous_delays(self) -> bool:
+        return self.jitter > 0
+
+    def shard_partition(
+        self, node_ids: Sequence[int], shards: int
+    ) -> Tuple[Dict[int, int], float]:
+        """Region-aware partition: each region's nodes stay together.
+
+        With whole regions per shard, every cross-shard message is
+        inter-region, so the conservative window widens from the
+        intra-region floor (~0.35 ms) to the slowest-cut inter-region
+        floor (≥ 4 ms on the paper's EU mesh) — over an order of
+        magnitude fewer barriers per simulated second.  Among the
+        assignments of regions to shards the most node-balanced one wins
+        (parallel speedup is bounded by the largest shard), with the
+        cross-shard delay floor as tie-break; the search is brute force
+        over ``shards^regions ≤ 4^4`` candidates, deterministic by
+        enumeration order.  Falls back to round-robin with the global
+        floor when shards cannot all be non-empty (more shards than
+        populated regions).
+        """
+        import itertools
+
+        node_ids = list(node_ids)
+        count = len(self.assignment)
+        regions = sorted({self.assignment[node % count] for node in node_ids})
+        if shards > len(regions):
+            return LatencyModel.shard_partition(self, node_ids, shards)
+        population: Dict[str, int] = {region: 0 for region in regions}
+        for node in node_ids:
+            population[self.assignment[node % count]] += 1
+
+        def cross_floor(combo: Tuple[int, ...]) -> float:
+            floor = float("inf")
+            for i, region_a in enumerate(regions):
+                for j, region_b in enumerate(regions):
+                    if i < j and combo[i] != combo[j]:
+                        floor = min(floor, self._delays[(region_a, region_b)])
+            return floor
+
+        best = None
+        best_score = None
+        for combo in itertools.product(range(shards), repeat=len(regions)):
+            if len(set(combo)) != shards:
+                continue  # some shard would own no region
+            counts = [0] * shards
+            for region, shard in zip(regions, combo):
+                counts[shard] += population[region]
+            if 0 in counts:
+                continue
+            score = (-(max(counts) - min(counts)), cross_floor(combo))
+            if best_score is None or score > best_score:
+                best, best_score = combo, score
+        if best is None:
+            return LatencyModel.shard_partition(self, node_ids, shards)
+        shard_of_region = dict(zip(regions, best))
+        owner = {
+            node: shard_of_region[self.assignment[node % count]]
+            for node in node_ids
+        }
+        lookahead = cross_floor(best)
+        if self.jitter > 0:
+            lookahead *= 1.0 - self.jitter
+        return owner, lookahead
+
+
+def europe_wan(
+    num_nodes: int, seed: int = 0, jitter: float = 0.10,
+    pair_streams: bool = False,
+) -> RegionLatency:
     """Latency model matching the paper's deployment (§VI-B).
 
     Nodes are spread uniformly (round-robin over a seeded shuffle) across
     the four EU regions, as the paper deploys replicas "randomly across the
-    corresponding regions".
+    corresponding regions".  ``pair_streams=True`` draws each pair's
+    jitter from an independent deterministic stream (required for
+    intra-simulation sharding; the benchmark builders enable it).
     """
     rng = random.Random(seed)
     assignment = [EUROPE_REGIONS[i % len(EUROPE_REGIONS)] for i in range(num_nodes)]
     rng.shuffle(assignment)
-    return RegionLatency(assignment, _EU_ONE_WAY, jitter=jitter, seed=seed + 1)
+    return RegionLatency(
+        assignment, _EU_ONE_WAY, jitter=jitter, seed=seed + 1,
+        pair_streams=pair_streams,
+    )

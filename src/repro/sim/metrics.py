@@ -12,7 +12,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["LatencyRecorder", "ThroughputMeter", "LatencySummary", "Counter"]
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "LatencySummary",
+    "Counter",
+    "summarize_values",
+]
 
 
 class LatencySummary:
@@ -54,6 +60,25 @@ class LatencySummary:
         )
 
 
+def summarize_values(values: Sequence[float]) -> LatencySummary:
+    """Summarize a latency sample sequence.
+
+    Shared by :class:`LatencyRecorder` and the sharded engine's
+    cross-shard merge (:mod:`repro.sim.shard`): the mean is computed by
+    numpy over the values *in the given order*, so a merge that
+    reproduces the serial engine's sample order reproduces the summary
+    bit-for-bit.
+    """
+    if not values:
+        return LatencySummary.empty()
+    arr = np.asarray(values)
+    p50, p95, p99 = np.percentile(arr, [50, 95, 99])
+    return LatencySummary(
+        len(arr), float(arr.mean()), float(p50), float(p95), float(p99),
+        float(arr.max()),
+    )
+
+
 class LatencyRecorder:
     """Records per-operation latencies within an observation window."""
 
@@ -75,14 +100,7 @@ class LatencyRecorder:
         return len(self._samples)
 
     def summary(self) -> LatencySummary:
-        if not self._samples:
-            return LatencySummary.empty()
-        arr = np.asarray(self._samples)
-        p50, p95, p99 = np.percentile(arr, [50, 95, 99])
-        return LatencySummary(
-            len(arr), float(arr.mean()), float(p50), float(p95), float(p99),
-            float(arr.max()),
-        )
+        return summarize_values(self._samples)
 
     def reset(self) -> None:
         self._samples.clear()

@@ -67,6 +67,11 @@ class Network:
     #: for one message on a commodity VM (~10 µs).
     DEFAULT_RECV_CPU = 10e-6
 
+    #: Minimum same-broadcast local fan-out that rides a single
+    #: *arrival-train* calendar entry instead of one entry per copy.
+    #: Below this the per-copy path is just as fast and allocates less.
+    TRAIN_MIN = 8
+
     def __init__(
         self,
         sim: Simulator,
@@ -80,6 +85,30 @@ class Network:
         self._crashed: Set[int] = set()
         self._egress_delay: Dict[int, float] = {}
         self._blocked: Set[Tuple[int, int]] = set()
+        #: Intra-simulation sharding (repro.sim.shard): node ids whose
+        #: events execute in this process, or None when not sharded.
+        self._shard_owned: Optional[frozenset] = None
+        #: Cross-shard send buffer: (arrival_time, src, src_seq, dst,
+        #: payload, recv_cost) tuples, drained at every window barrier.
+        self._shard_outbox: Optional[List[tuple]] = None
+
+    # ------------------------------------------------------------------
+    # Intra-simulation sharding (repro.sim.shard)
+    # ------------------------------------------------------------------
+    def configure_sharding(
+        self, owned: frozenset, outbox: List[tuple]
+    ) -> None:
+        """Route sends to nodes outside ``owned`` into ``outbox``.
+
+        Installed by a shard worker after system construction: the
+        worker holds the full node set but executes only ``owned``;
+        messages to other nodes are buffered with their already-computed
+        arrival time and merged into the owning shard's calendar at the
+        next conservative window barrier, in canonical
+        ``(arrival_time, src, src_seq)`` order.
+        """
+        self._shard_owned = owned
+        self._shard_outbox = outbox
 
     # ------------------------------------------------------------------
     # Membership
@@ -166,6 +195,15 @@ class Network:
         extra = self._egress_delay.get(src)
         if extra:
             delay += extra
+        owned = self._shard_owned
+        if owned is not None and dst not in owned:
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            self._shard_outbox.append(
+                (serialized_at + delay, src, seq, dst, payload, recv_cost)
+            )
+            return
         self.sim.call_at(
             serialized_at + delay, self._arrive, src, dst, payload, recv_cost
         )
@@ -213,6 +251,11 @@ class Network:
         sim = self.sim
         heap = sim._heap
         arrive = self._arrive
+        owned = self._shard_owned
+        outbox = self._shard_outbox
+        #: Local (time, seq, dst) arrivals of this broadcast; batched into
+        #: one calendar entry when the fan-out is large enough.
+        arrivals: List[tuple] = []
         for dst in dsts:
             if blocked and (src, dst) in blocked:
                 stats.messages_dropped += 1
@@ -222,16 +265,46 @@ class Network:
             delay = sample(src, dst)
             if extra:
                 delay += extra
-            # Inlined sim.call_at (arrival times are never in the past).
             seq = sim._seq
             sim._seq = seq + 1
-            _heappush(
-                heap, (busy + delay, seq, arrive, (src, dst, payload, recv_cost))
-            )
+            if owned is not None and dst not in owned:
+                outbox.append((busy + delay, src, seq, dst, payload, recv_cost))
+            else:
+                arrivals.append((busy + delay, seq, dst))
         if transmitted:
             link._busy_until = busy
             link.busy_time += per * transmitted
             link.jobs_served += transmitted
+        if len(arrivals) < self.TRAIN_MIN:
+            # Small fan-out: one calendar entry per copy, exactly the
+            # per-send path (inlined sim.call_at; never in the past).
+            for time, seq, dst in arrivals:
+                _heappush(heap, (time, seq, arrive, (src, dst, payload, recv_cost)))
+            return
+        # Arrival train: the copies' (time, seq) keys are reserved above —
+        # identical to the per-copy path — but only the *head* arrival
+        # occupies the calendar; delivering it re-pushes the train at the
+        # next arrival's reserved key, so the queue holds O(1) entries per
+        # in-flight broadcast instead of O(N).  Delivery order is
+        # unchanged: the heap pops by the same (time, seq) keys either
+        # way.  Sorting is needed because per-destination latency varies,
+        # so arrival times are not monotonic in destination order.
+        arrivals.sort()
+        time, seq, _dst = arrivals[0]
+        _heappush(
+            heap, (time, seq, self._train_step, ([0, arrivals, src, payload, recv_cost],))
+        )
+
+    def _train_step(self, train: list) -> None:
+        """Deliver the train's head arrival and reschedule the remainder."""
+        index, arrivals, src, payload, recv_cost = train
+        dst = arrivals[index][2]
+        index += 1
+        if index < len(arrivals):
+            train[0] = index
+            time, seq, _dst = arrivals[index]
+            _heappush(self.sim._heap, (time, seq, self._train_step, (train,)))
+        self._arrive(src, dst, payload, recv_cost)
 
     def _arrive(
         self, src: int, dst: int, payload: Any, recv_cost: Optional[float]

@@ -1,0 +1,638 @@
+"""Conservative intra-simulation parallelism (lookahead sharding).
+
+One full-scale Fig. 3 cell (Astro at N=100) is a single O(N²) simulation
+pinned to one core — scenario-level parallelism (``repro.bench.parallel``)
+cannot help *inside* it.  This module partitions the replicas of ONE
+simulation across worker processes and runs them in conservative time
+windows, the textbook PDES recipe:
+
+* **Lookahead.**  No message arrives sooner than NIC serialization plus
+  the latency model's minimum one-way delay
+  (:meth:`~repro.sim.latency.LatencyModel.min_delay`).  All shards can
+  therefore execute one lookahead window of simulated time without
+  communicating: any cross-shard message generated inside the window
+  arrives at or after the next window.
+* **Barrier merge.**  Each shard buffers its cross-shard sends (the
+  :class:`~repro.sim.network.Network` shard routing) and the coordinator
+  redistributes them at the window barrier.  Receivers insert arrivals
+  in canonical ``(arrival_time, src, src_seq)`` order, so the
+  protocol-visible history is a pure function of scenario + seed —
+  independent of shard count, worker scheduling, and start method.
+* **Replicated drivers.**  Load generation, fault-free in open-loop
+  measurement runs, is a deterministic function of (workload seed,
+  tick schedule).  Every worker builds the *full* system and runs the
+  same driver; it executes submissions only for replicas it owns, so
+  no central injector needs to ship per-payment messages across shards.
+
+Determinism requirements (validated at worker start):
+
+* the latency model must be *pair-decomposable*
+  (:attr:`~repro.sim.latency.LatencyModel.pair_decomposable`): each
+  (src, dst) pair samples its delays from its own deterministic stream,
+  so draws do not depend on the global send interleaving;
+* it must draw *continuous* delays
+  (:attr:`~repro.sim.latency.LatencyModel.continuous_delays`): exact
+  arrival-time ties between distinct sends would be ordered by local
+  scheduling seq serially but by the barrier merge here, and which pairs
+  cross shards depends on the partition — continuous jitter makes such
+  ties measure-zero;
+* ``min_delay()`` must be positive (otherwise there is no lookahead);
+* all workers must share one interpreter hash seed — signature tokens
+  and digests use ``hash()``.  ``fork`` inherits it; under ``spawn``
+  the coordinator pins ``PYTHONHASHSEED`` for its workers.
+
+The engine currently supports the Astro systems driven by open-loop
+probes (the Fig. 3 peak-search cells this exists for).  BFT cells stay
+serial: consensus replicas schedule timeout machinery at construction,
+which would fire on non-owned stale state in every worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+from heapq import heappush as _heappush
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SHARDS_ENV",
+    "ShardedOpenLoop",
+    "ShardingUnsupported",
+    "resolve_shards",
+    "shard_owner",
+    "state_fingerprints",
+]
+
+#: Environment variable selecting the shard count for one simulation:
+#: unset/"1" = the serial engine (byte-identical to no sharding at all),
+#: an integer > 1 = that many worker processes, "auto"/"0" = one per
+#: available CPU, capped at the WAN region count (see resolve_shards).
+SHARDS_ENV = "REPRO_SIM_SHARDS"
+
+#: Pickle protocol for cross-shard message buffers.  One dumps() per
+#: (window, destination shard): payload objects shared by many arrivals
+#: (a broadcast batch) are serialized once per buffer via the pickle memo.
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class ShardingUnsupported(RuntimeError):
+    """The scenario cannot run sharded (no lookahead, unsupported system)."""
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """Shard count: explicit argument, else ``REPRO_SIM_SHARDS``, else 1.
+
+    ``auto`` is capped at the WAN topology's region count as well as the
+    CPU count: beyond one shard per region the partition degrades to
+    round-robin with the narrow intra-region lookahead, which measures
+    *slower* than the serial engine.  Explicit counts are honored
+    verbatim (an operator may know better).
+    """
+    if shards is None:
+        # Lazy import: bench.parallel lazily imports this module in the
+        # other direction, so neither import runs at module load.
+        from ..bench.parallel import parse_count_env, usable_cpus
+        from .latency import EUROPE_REGIONS
+
+        return parse_count_env(
+            SHARDS_ENV, lambda: min(usable_cpus(), len(EUROPE_REGIONS))
+        )
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return shards
+
+
+def shard_owner(node_id: int, shards: int) -> int:
+    """The shard owning ``node_id`` (round-robin: balanced for the
+    round-robin client→representative assignment of the builders)."""
+    return node_id % shards
+
+
+def state_fingerprints(system: Any) -> Dict[int, str]:
+    """SHA-256 fingerprint of every replica's protocol state.
+
+    The byte-identity witness used by the shard-determinism tests: the
+    serial engine computes it in-process, the sharded engine merges each
+    worker's fingerprints of the replicas it owns.
+    """
+    return {
+        replica.node_id: hashlib.sha256(
+            repr(replica.state.snapshot()).encode()
+        ).hexdigest()
+        for replica in system.replicas
+    }
+
+
+def _settled_counts(system: Any, owned: Optional[frozenset] = None) -> Dict[int, int]:
+    return {
+        replica.node_id: replica.settled_count
+        for replica in system.replicas
+        if owned is None or replica.node_id in owned
+    }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _SampleRecorder:
+    """Latency recorder that keeps ``(completed_at, latency)`` pairs.
+
+    The cross-shard merge needs completion times to reconstruct the
+    serial engine's sample order; a worker only observes confirmations
+    of the replicas it owns.  Window attributes are pinned by
+    :func:`repro.bench.runner.setup_open_loop`.
+    """
+
+    def __init__(self) -> None:
+        self.window_start = 0.0
+        self.window_end = float("inf")
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, submitted_at: float, completed_at: float) -> None:
+        if self.window_start <= completed_at <= self.window_end:
+            self.samples.append((completed_at, completed_at - submitted_at))
+
+
+class _WorkerState:
+    """Everything one shard worker holds between commands."""
+
+    def __init__(self, spec: Dict[str, Any], index: int, count: int) -> None:
+        self.spec = spec
+        self.index = index
+        self.count = count
+        self.system: Any = None
+        self.owned: frozenset = frozenset()
+        self.owner_map: Dict[int, int] = {}
+        self.outbox: List[tuple] = []
+        self.lookahead = 0.0
+
+    def build(self) -> None:
+        from ..bench.systems import SYSTEM_BUILDERS
+
+        spec = self.spec
+        builder = SYSTEM_BUILDERS[spec["system"]]
+        system = builder(
+            spec["size"], seed=spec["seed"], **(spec.get("builder_kwargs") or {})
+        )
+        latency = system.network.latency
+        lookahead = latency.min_delay()
+        if lookahead <= 0.0:
+            raise ShardingUnsupported(
+                f"latency model {type(latency).__name__} provides no "
+                f"lookahead (min_delay() == {lookahead}); cannot shard"
+            )
+        if not latency.pair_decomposable:
+            raise ShardingUnsupported(
+                f"latency model {type(latency).__name__} is not "
+                "pair-decomposable: per-message draws would depend on the "
+                "shard count (build it with pair_streams=True)"
+            )
+        if not latency.continuous_delays:
+            raise ShardingUnsupported(
+                f"latency model {type(latency).__name__} produces exact "
+                "arrival-time ties (no continuous jitter), whose order "
+                "would depend on the shard partition; cannot shard"
+            )
+        try:
+            node_ids = system.replica_node_ids
+        except AttributeError:
+            raise ShardingUnsupported(
+                f"system {spec['system']!r} does not expose replica_node_ids; "
+                "intra-simulation sharding supports the Astro systems"
+            ) from None
+        count = self.count
+        # Topology-aware partition (pure function of the latency model,
+        # so every worker computes the identical map) and the matching
+        # cross-shard lookahead — for the WAN model this keeps whole
+        # regions per shard and widens the window to the inter-region
+        # delay floor.
+        owner, lookahead = latency.shard_partition(node_ids, count)
+        if lookahead <= 0.0:
+            raise ShardingUnsupported(
+                f"latency model {type(latency).__name__} provides no "
+                f"cross-shard lookahead ({lookahead}); cannot shard"
+            )
+        self.owner_map = owner
+        owned = frozenset(
+            node_id for node_id in node_ids if owner[node_id] == self.index
+        )
+        self.outbox = []
+        system.network.configure_sharding(owned, self.outbox)
+        # Replicated drivers call system.submit for *every* generated
+        # payment; only the owner of the spender's representative executes
+        # it.  Shadow the bound method with the ownership filter.
+        original_submit = system.submit
+        rep_map = system.directory.rep_map
+
+        def filtered_submit(spender, beneficiary, amount):
+            if rep_map[spender] in owned:
+                return original_submit(spender, beneficiary, amount)
+            return None
+
+        system.submit = filtered_submit
+        self.system = system
+        self.owned = owned
+        self.lookahead = lookahead
+
+
+def _next_event_time(sim: Any) -> float:
+    heap = sim._heap
+    return heap[0][0] if heap else float("inf")
+
+
+def _insert_arrivals(system: Any, blobs: Sequence[bytes]) -> None:
+    """Merge cross-shard arrivals into the local calendar.
+
+    Canonical ``(arrival_time, src, src_seq)`` order: sequence numbers
+    are unique per source, so the sort never reaches the payload, and
+    two same-time arrivals at one destination execute in an order that
+    is a pure function of message content — not of shard count.
+    """
+    if not blobs:
+        return
+    entries: List[tuple] = []
+    for blob in blobs:
+        entries.extend(pickle.loads(blob))
+    entries.sort(key=lambda entry: entry[:3])
+    sim = system.sim
+    heap = sim._heap
+    arrive = system.network._arrive
+    for time, src, _src_seq, dst, payload, recv_cost in entries:
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(heap, (time, seq, arrive, (src, dst, payload, recv_cost)))
+
+
+def _drain_outbox(state: _WorkerState) -> Dict[int, Tuple[bytes, float]]:
+    """Group buffered cross-shard sends by destination shard.
+
+    Returns ``{shard: (pickled entries, min arrival time)}`` — the
+    coordinator needs the minimum to compute the next window without
+    unpickling payloads.
+    """
+    outbox = state.outbox
+    if not outbox:
+        return {}
+    owner = state.owner_map
+    groups: Dict[int, List[tuple]] = {}
+    for entry in outbox:
+        groups.setdefault(owner[entry[3]], []).append(entry)
+    outbox.clear()
+    return {
+        shard: (
+            pickle.dumps(entries, _PICKLE_PROTOCOL),
+            min(entry[0] for entry in entries),
+        )
+        for shard, entries in groups.items()
+    }
+
+
+def _worker_probe(conn, state: _WorkerState, params: Dict[str, Any]) -> None:
+    from ..bench.runner import finish_open_loop, setup_open_loop
+
+    if params["fresh"] or state.system is None:
+        state.build()
+    system = state.system
+    sim = system.sim
+    recorder = _SampleRecorder()
+    driver, meter, recorder, window_start, window_end = setup_open_loop(
+        system,
+        rate=params["rate"],
+        duration=params["duration"],
+        warmup=params["warmup"],
+        seed=params["seed"],
+        recorder=recorder,
+    )
+    until = window_end + params["drain"]
+    conn.send(
+        (
+            "probe_info",
+            window_start,
+            window_end,
+            until,
+            state.lookahead,
+            _next_event_time(sim),
+        )
+    )
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "window":
+            _insert_arrivals(system, message[2])
+            sim.run(until=message[1])
+            conn.send(("window_done", _drain_outbox(state), _next_event_time(sim)))
+        elif kind == "finish":
+            _insert_arrivals(system, message[2])
+            sim.run(until=message[1])
+            finish_open_loop(system, driver)
+            # Cross-shard sends of post-horizon events are dropped, like
+            # the serial engine's undelivered in-flight arrivals.
+            state.outbox.clear()
+            conn.send(
+                (
+                    "probe_result",
+                    {
+                        "bucket_width": meter.bucket_width,
+                        "buckets": dict(meter._buckets),
+                        "samples": recorder.samples,
+                        "injected": driver.injected,
+                        "confirmed": driver.confirmed,
+                        "window_start": window_start,
+                        "window_end": window_end,
+                    },
+                )
+            )
+            return
+        else:  # pragma: no cover - protocol bug guard
+            raise RuntimeError(f"unexpected mid-probe command {kind!r}")
+
+
+def _worker_main(conn, spec: Dict[str, Any], index: int, count: int) -> None:
+    state = _WorkerState(spec, index, count)
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "probe":
+                _worker_probe(conn, state, message[1])
+            elif kind == "build":
+                state.build()
+                conn.send(("built", state.lookahead))
+            elif kind == "fingerprint":
+                system = state.system
+                if system is None:
+                    conn.send(("fingerprints", {}, {}))
+                else:
+                    owned = state.owned
+                    prints = {
+                        node_id: digest
+                        for node_id, digest in state_fingerprints(system).items()
+                        if node_id in owned
+                    }
+                    conn.send(
+                        ("fingerprints", prints, _settled_counts(system, owned))
+                    )
+            elif kind == "exit":
+                return
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"unknown command {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown races
+        pass
+    except ShardingUnsupported as exc:
+        # Typed relay: the coordinator re-raises this as
+        # ShardingUnsupported so callers can fall back to the serial
+        # engine (repro.bench.jobs does).
+        try:
+            conn.send(("error", str(exc), "unsupported"))
+        except OSError:  # pragma: no cover - coordinator already gone
+            pass
+    except Exception:
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc(), "crash"))
+        except OSError:  # pragma: no cover - coordinator already gone
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class ShardedOpenLoop:
+    """Coordinator for one sharded simulation driven by open-loop probes.
+
+    Workers persist across probes (peak searches reuse warm systems);
+    :meth:`probe` is a drop-in for the serial build-and-
+    :func:`~repro.bench.runner.run_open_loop` cycle and returns a merged
+    :class:`~repro.bench.runner.RunResult` that is byte-identical to the
+    serial engine's on the same scenario.
+
+    ``spec`` is the picklable scenario description:
+    ``{"system": name, "size": N, "seed": int, "builder_kwargs": {...}}``
+    against :data:`repro.bench.systems.SYSTEM_BUILDERS`.
+    """
+
+    def __init__(
+        self,
+        spec: Dict[str, Any],
+        shards: int,
+        drain: float = 0.5,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if shards < 2:
+            raise ValueError(
+                f"ShardedOpenLoop needs >= 2 shards (got {shards}); "
+                "use the serial engine for 1"
+            )
+        if spec.get("system") not in ("astro1", "astro2"):
+            raise ShardingUnsupported(
+                f"intra-simulation sharding supports the Astro systems; "
+                f"got {spec.get('system')!r}"
+            )
+        self.spec = dict(spec)
+        self.shards = shards
+        self.drain = drain
+        context = multiprocessing.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        # Workers must agree on the interpreter hash seed: signature
+        # tokens and digests are hash()-derived, and a message signed in
+        # one worker is verified in another.  fork inherits the parent's
+        # seed; spawn starts fresh interpreters, so pin the environment
+        # (histories themselves are hash-seed-independent, so the pinned
+        # value does not matter — only that it is shared).
+        pin_applied = False
+        previous_value: Optional[str] = None
+        if context.get_start_method() != "fork":
+            previous_value = os.environ.get("PYTHONHASHSEED")
+            # Absent, "" and "random" all randomize per interpreter —
+            # every one of them must be pinned for the workers.
+            if previous_value is None or previous_value in ("", "random"):
+                os.environ["PYTHONHASHSEED"] = "0"
+                pin_applied = True
+        try:
+            for index in range(shards):
+                ours, theirs = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(theirs, self.spec, index, shards),
+                    daemon=True,
+                )
+                process.start()
+                theirs.close()
+                self._connections.append(ours)
+                self._processes.append(process)
+        finally:
+            if pin_applied:
+                if previous_value is None:
+                    del os.environ["PYTHONHASHSEED"]
+                else:
+                    os.environ["PYTHONHASHSEED"] = previous_value
+
+    # ------------------------------------------------------------------
+    # Protocol plumbing
+    # ------------------------------------------------------------------
+    def _recv(self, connection) -> tuple:
+        message = connection.recv()
+        if message[0] == "error":
+            self.close()
+            if len(message) > 2 and message[2] == "unsupported":
+                raise ShardingUnsupported(message[1])
+            raise RuntimeError(f"shard worker failed:\n{message[1]}")
+        return message
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def prepare(self) -> float:
+        """(Re)build every worker's system now; returns the lookahead.
+
+        Splits construction cost out of the next probe: after
+        ``prepare()``, ``probe(fresh=False)`` measures exactly what the
+        serial engine's build-then-run cycle measures after ``factory()``
+        — the wall-clock comparison the perf tests make.
+        """
+        for connection in self._connections:
+            connection.send(("build",))
+        lookaheads = {self._recv(connection)[1] for connection in self._connections}
+        if len(lookaheads) != 1:
+            self.close()
+            raise RuntimeError(f"shard lookaheads diverged: {lookaheads}")
+        return lookaheads.pop()
+
+    def probe(
+        self,
+        rate: float,
+        duration: float,
+        warmup: float,
+        fresh: bool = True,
+        seed: Optional[int] = None,
+    ) -> Any:
+        """Run one open-loop measurement across the shard fleet."""
+        params = {
+            "rate": rate,
+            "duration": duration,
+            "warmup": warmup,
+            "drain": self.drain,
+            "seed": self.spec["seed"] if seed is None else seed,
+            "fresh": fresh,
+        }
+        connections = self._connections
+        for connection in connections:
+            connection.send(("probe", params))
+        infos = [self._recv(connection) for connection in connections]
+        window_start, window_end, until, lookahead = infos[0][1:5]
+        for info in infos[1:]:
+            if info[1:5] != (window_start, window_end, until, lookahead):
+                self.close()
+                raise RuntimeError(
+                    f"shard clocks diverged at probe start: {infos!r}"
+                )
+        next_times = [info[5] for info in infos]
+        shards = self.shards
+        inbox: List[List[bytes]] = [[] for _ in range(shards)]
+        inbox_min = [float("inf")] * shards
+        while True:
+            global_next = min(min(next_times), min(inbox_min))
+            if global_next >= until:
+                break
+            end = min(until, global_next + lookahead)
+            for index, connection in enumerate(connections):
+                connection.send(("window", end, inbox[index]))
+                inbox[index] = []
+                inbox_min[index] = float("inf")
+            for index, connection in enumerate(connections):
+                _kind, per_shard, next_time = self._recv(connection)
+                next_times[index] = next_time
+                for shard, (blob, min_time) in per_shard.items():
+                    inbox[shard].append(blob)
+                    if min_time < inbox_min[shard]:
+                        inbox_min[shard] = min_time
+        for index, connection in enumerate(connections):
+            connection.send(("finish", until, inbox[index]))
+        parts = [self._recv(connection)[1] for connection in connections]
+        return self._merge(parts, rate, duration)
+
+    @staticmethod
+    def _merge(parts: List[Dict[str, Any]], rate: float, duration: float):
+        from ..bench.runner import RunResult
+        from .metrics import ThroughputMeter, summarize_values
+
+        first = parts[0]
+        meter = ThroughputMeter(bucket_width=first["bucket_width"])
+        buckets = meter._buckets
+        for part in parts:
+            for index, count in part["buckets"].items():
+                buckets[index] = buckets.get(index, 0) + count
+                meter.total += count
+        achieved = meter.rate(first["window_start"], first["window_end"])
+        # Stable sort on completion time alone: each replica's samples
+        # live in exactly one worker, so same-time samples of one replica
+        # (a settled batch confirms many payments at one instant) keep
+        # their drain order under any shard count — reproducing the
+        # serial engine's sample order.
+        samples: List[Tuple[float, float]] = []
+        for part in parts:
+            samples.extend(part["samples"])
+        samples.sort(key=lambda sample: sample[0])
+        latency = summarize_values([value for _at, value in samples])
+        injected = first["injected"]
+        for part in parts[1:]:
+            if part["injected"] != injected:
+                raise RuntimeError(
+                    "replicated drivers diverged: injected counts "
+                    f"{[p['injected'] for p in parts]}"
+                )
+        return RunResult(
+            offered=rate,
+            achieved=achieved,
+            latency=latency,
+            injected=injected,
+            confirmed=sum(part["confirmed"] for part in parts),
+            duration=duration,
+        )
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Merged per-replica state fingerprints and settled counts."""
+        for connection in self._connections:
+            connection.send(("fingerprint",))
+        prints: Dict[int, str] = {}
+        settled: Dict[int, int] = {}
+        for connection in self._connections:
+            _kind, part_prints, part_settled = self._recv(connection)
+            prints.update(part_prints)
+            settled.update(part_settled)
+        return {
+            "state": dict(sorted(prints.items())),
+            "settled": dict(sorted(settled.items())),
+        }
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("exit",))
+            except OSError:
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        for connection in self._connections:
+            connection.close()
+        self._connections = []
+        self._processes = []
+
+    def __enter__(self) -> "ShardedOpenLoop":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

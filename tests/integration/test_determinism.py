@@ -205,6 +205,102 @@ def test_view_change_and_reconfig_hashseed_independent():
     assert len(outputs) == 1, f"histories diverged across hash seeds: {outputs}"
 
 
+# ---------------------------------------------------------------------------
+# Intra-simulation sharding: shard-count / hash-seed / start-method matrix
+# ---------------------------------------------------------------------------
+# One fig3-style peak-search cell (tight budget) whose *entire history* —
+# every probe's RunResult floats plus per-replica state fingerprints —
+# must be byte-identical for REPRO_SIM_SHARDS=1 (the serial engine),
+# 2 and 4, in fresh interpreters under different PYTHONHASHSEEDs, and
+# under both fork and spawn start methods.
+
+_SHARD_SNIPPET = '''
+import os
+from repro.bench.parallel import ScenarioJob, run_unit
+from repro.bench.systems import SYSTEM_BUILDERS
+
+def main():
+    shards = int(os.environ.get("TEST_SIM_SHARDS", "1"))
+    start_method = os.environ.get("TEST_START_METHOD") or None
+    params = dict(system="astro2", size=6, start_rate=800.0, duration=0.5,
+                  warmup=0.3, refine_steps=1, payment_budget=6000,
+                  max_probes=3, reuse_state=True)
+    if shards > 1 and start_method is not None:
+        # drive the engine directly so the start method is selectable
+        from repro.bench.peak import find_peak
+        from repro.sim.shard import ShardedOpenLoop
+        spec = dict(system="astro2", size=6, seed=9, builder_kwargs=None)
+        with ShardedOpenLoop(spec, shards=shards,
+                             start_method=start_method) as cluster:
+            peak = find_peak(
+                None, start_rate=800.0, duration=0.5, warmup=0.3,
+                refine_steps=1, seed=9, payment_budget=6000, max_probes=3,
+                reuse_state=True,
+                probe_runner=lambda rate, d, w, fresh: cluster.probe(
+                    rate=rate, duration=d, warmup=w, fresh=fresh, seed=9),
+            )
+    else:
+        peak = run_unit(ScenarioJob(
+            kind="find_peak", params=dict(params, sim_shards=shards), seed=9))
+    for probe in peak.probes:
+        print("probe", probe.offered, probe.achieved, probe.injected,
+              probe.confirmed,
+              probe.latency.mean.hex() if probe.latency.count else None,
+              probe.latency.p95.hex() if probe.latency.count else None)
+    print("peak", peak.peak_pps, peak.peak_probe_index)
+
+if __name__ == "__main__":
+    main()
+'''
+
+
+def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None):
+    script = tmp_path / "shard_snippet.py"
+    script.write_text(_SHARD_SNIPPET)
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(
+        os.environ,
+        PYTHONHASHSEED=str(hashseed),
+        PYTHONPATH=str(src),
+        TEST_SIM_SHARDS=str(shards),
+        REPRO_SIM_SHARDS=str(shards),
+    )
+    if start_method is not None:
+        env["TEST_START_METHOD"] = start_method
+    else:
+        env.pop("TEST_START_METHOD", None)
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_shard_count_and_hashseed_invariant_histories(tmp_path):
+    """REPRO_SIM_SHARDS 1/2/4 × PYTHONHASHSEED variation: one history."""
+    outputs = {
+        _run_shard_snippet(tmp_path, hashseed, shards)
+        for shards in (1, 2, 4)
+        for hashseed in (0, 4242)
+    }
+    assert len(outputs) == 1, (
+        f"fig3-cell histories diverged across shard counts / hash seeds: "
+        f"{outputs}"
+    )
+
+
+def test_shard_start_method_invariant_histories(tmp_path):
+    """fork and spawn workers must produce the same history."""
+    outputs = {
+        _run_shard_snippet(tmp_path, 0, 2, start_method=method)
+        for method in ("fork", "spawn")
+    }
+    assert len(outputs) == 1, (
+        f"histories diverged across start methods: {outputs}"
+    )
+
+
 def test_fault_injection_reproducible():
     def run(seed):
         system = Astro1System(num_replicas=4, genesis=dict(GENESIS), seed=seed)

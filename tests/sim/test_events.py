@@ -137,3 +137,82 @@ def test_events_executed_counter():
         sim.schedule(0.1, lambda: None)
     sim.run_until_idle()
     assert sim.events_executed == 5
+
+
+# ---------------------------------------------------------------------------
+# Heap hygiene: cancelled-entry accounting and compaction
+# ---------------------------------------------------------------------------
+
+def test_pending_reports_live_vs_cancelled():
+    sim = Simulator()
+    events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+    assert (sim.pending, sim.pending_live, sim.pending_cancelled) == (10, 10, 0)
+    for event in events[:4]:
+        event.cancel()
+    assert (sim.pending, sim.pending_live, sim.pending_cancelled) == (10, 6, 4)
+    sim.run_until_idle()
+    assert (sim.pending, sim.pending_live, sim.pending_cancelled) == (0, 0, 0)
+
+
+def test_cancel_after_fire_keeps_counters_sane():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.run_until_idle()
+    event.cancel()  # too late: entry already left the queue
+    assert sim.pending_cancelled == 0
+
+
+def test_compaction_reclaims_dominating_cancellations():
+    sim = Simulator()
+    keep = [sim.schedule(100.0 + i, lambda: None) for i in range(10)]
+    doomed = [sim.schedule(200.0 + i, lambda: None) for i in range(200)]
+    assert sim.pending == 210
+    for event in doomed:
+        event.cancel()
+    # Cancelled entries exceeded half the heap: the queue was compacted
+    # without waiting for the far-future timestamps to be reached.
+    assert sim.compactions >= 1
+    assert sim.pending < 60
+    assert sim.pending_live == 10
+    executed = sim.run_until_idle()
+    assert executed == 10
+    assert keep  # silence unused warning
+
+
+def test_compaction_preserves_execution_order():
+    sim = Simulator()
+    order = []
+    events = [
+        sim.schedule(1.0 + (i % 7) * 0.25, order.append, i) for i in range(300)
+    ]
+    for i, event in enumerate(events):
+        if i % 3 != 0:
+            event.cancel()
+    assert sim.compactions >= 1
+    sim.run_until_idle()
+    # Reference: a simulator that never scheduled the cancelled events at
+    # all (same times, same relative order of survivors).
+    reference_sim = Simulator()
+    reference_order = []
+    for i in range(300):
+        if i % 3 == 0:
+            reference_sim.schedule(1.0 + (i % 7) * 0.25, reference_order.append, i)
+    reference_sim.run_until_idle()
+    assert order == reference_order
+
+
+def test_compaction_during_run_is_safe():
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(50.0 + i, lambda: None) for i in range(150)]
+
+    def cancel_all():
+        for event in doomed:
+            event.cancel()
+        fired.append("cancelled")
+
+    sim.schedule(1.0, cancel_all)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run_until_idle()
+    assert fired == ["cancelled", "after"]
+    assert sim.compactions >= 1

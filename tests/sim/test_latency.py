@@ -90,3 +90,75 @@ def test_all_four_regions_used():
     model = europe_wan(12, seed=4)
     used = {model.region_of(i) for i in range(12)}
     assert used == set(EUROPE_REGIONS)
+
+
+# ---------------------------------------------------------------------------
+# Lookahead contract (min_delay) and pair-decomposable sampling
+# ---------------------------------------------------------------------------
+
+def test_min_delay_contract():
+    from repro.sim.latency import LatencyModel
+
+    assert LatencyModel().min_delay() == 0.0  # base: no lookahead
+    assert ConstantLatency(0.02).min_delay() == 0.02
+    assert UniformLatency(0.005, 0.02).min_delay() == 0.005
+    wan = europe_wan(16, seed=3)
+    floor = wan.min_delay()
+    assert floor > 0
+    for src in range(16):
+        for dst in range(16):
+            if src != dst:
+                for _ in range(5):
+                    assert wan.sample(src, dst) >= floor
+
+
+def test_min_delay_without_jitter_is_intra_region():
+    wan = europe_wan(8, seed=0, jitter=0.0)
+    assert wan.min_delay() == pytest.approx(0.00035)
+
+
+def test_pair_decomposable_flags():
+    assert ConstantLatency(0.01).pair_decomposable
+    assert not UniformLatency(0.001, 0.002).pair_decomposable
+    assert UniformLatency(0.001, 0.002, pair_streams=True).pair_decomposable
+    assert not europe_wan(8, seed=1).pair_decomposable
+    assert europe_wan(8, seed=1, pair_streams=True).pair_decomposable
+    assert europe_wan(8, seed=1, jitter=0.0).pair_decomposable  # no entropy
+
+
+def test_pair_streams_independent_of_interleaving():
+    """A pair's n-th draw must not depend on other pairs' sampling order —
+    the property sharded execution relies on."""
+    a = europe_wan(8, seed=5, pair_streams=True)
+    b = europe_wan(8, seed=5, pair_streams=True)
+    # a: sample pair (0, 1) five times straight.
+    direct = [a.sample(0, 1) for _ in range(5)]
+    # b: interleave with heavy traffic on other pairs.
+    interleaved = []
+    for round_index in range(5):
+        for src in range(8):
+            for dst in range(8):
+                if src != dst and (src, dst) != (0, 1):
+                    b.sample(src, dst)
+        interleaved.append(b.sample(0, 1))
+    assert direct == interleaved
+
+
+def test_pair_streams_differ_across_pairs_and_seeds():
+    wan = europe_wan(8, seed=5, pair_streams=True)
+    other_seed = europe_wan(8, seed=6, pair_streams=True)
+    assert wan.sample(0, 1) != wan.sample(1, 0)
+    assert wan.sample(0, 2) != other_seed.sample(0, 2)
+
+
+def test_continuous_delays_flags():
+    assert not ConstantLatency(0.01).continuous_delays
+    assert UniformLatency(0.001, 0.002).continuous_delays
+    assert not UniformLatency(0.002, 0.002).continuous_delays
+    assert europe_wan(8, seed=1).continuous_delays
+    assert not europe_wan(8, seed=1, jitter=0.0).continuous_delays
+
+
+def test_min_delay_single_region_mesh():
+    model = RegionLatency(["solo"], {}, intra_delay=0.0004, jitter=0.0)
+    assert model.min_delay() == pytest.approx(0.0004)
