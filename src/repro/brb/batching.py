@@ -18,8 +18,8 @@ from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, Seque
 from ..crypto.hashing import Digest, digest
 from ..sim.events import Event, Simulator
 
-__all__ = ["Batch", "Batcher", "group_by_representative", "DEFAULT_BATCH_SIZE",
-           "DEFAULT_BATCH_DELAY"]
+__all__ = ["Batch", "Batcher", "KeyedCoalescer", "group_by_representative",
+           "DEFAULT_BATCH_SIZE", "DEFAULT_BATCH_DELAY"]
 
 #: Paper's batch size: one signature per 256 payments (§VI-A).
 DEFAULT_BATCH_SIZE = 256
@@ -153,6 +153,99 @@ class Batcher(Generic[T]):
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+
+class KeyedCoalescer(Generic[T]):
+    """Per-key :class:`Batcher`: one independent time/size window per key.
+
+    Items accumulate in per-key buckets; a key's bucket is flushed as one
+    group when it reaches ``max_size`` items or ``max_delay`` after the
+    key's *first* pending item, whichever comes first.  ``flush_fn``
+    receives ``(key, items)``.
+
+    This is the keyed generalization of :class:`Batcher` (Astro II's
+    cross-delivery CREDIT coalescing keys buckets by beneficiary
+    representative).  :class:`Batcher` itself stays a separate class: its
+    single-bucket ``add`` sits on the per-payment ingest hot path and its
+    timer/sequence-number discipline is pinned byte-for-byte by the
+    golden-history determinism tests.
+
+    Buckets live in an insertion-ordered dict and timers are per key, so
+    flush order is a pure function of arrival order — never of hash-seed-
+    dependent set/dict internals (string keys would otherwise order
+    flushes by ``PYTHONHASHSEED``).
+    """
+
+    __slots__ = ("sim", "flush_fn", "max_size", "max_delay", "_pending",
+                 "_timers", "flushes", "items_coalesced")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flush_fn: Callable[[Hashable, List[T]], None],
+        max_size: int = DEFAULT_BATCH_SIZE,
+        max_delay: float = DEFAULT_BATCH_DELAY,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.sim = sim
+        self.flush_fn = flush_fn
+        self.max_size = max_size
+        self.max_delay = max_delay
+        self._pending: Dict[Hashable, List[T]] = {}
+        self._timers: Dict[Hashable, Event] = {}
+        self.flushes = 0
+        self.items_coalesced = 0
+
+    def add(self, key: Hashable, item: T) -> None:
+        bucket = self._pending.get(key)
+        if bucket is None:
+            self._pending[key] = [item]
+            if self.max_size <= 1:
+                self.flush_key(key)
+                return
+            self._timers[key] = self.sim.schedule(
+                self.max_delay, self._on_timer, key
+            )
+            return
+        bucket.append(item)
+        if len(bucket) >= self.max_size:
+            self.flush_key(key)
+
+    def add_many(self, key: Hashable, items: Sequence[T]) -> None:
+        for item in items:
+            self.add(key, item)
+
+    def _on_timer(self, key: Hashable) -> None:
+        self._timers.pop(key, None)
+        if key in self._pending:
+            self.flush_key(key)
+
+    def flush_key(self, key: Hashable) -> None:
+        """Flush one key's bucket immediately (no-op when empty)."""
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        items = self._pending.pop(key, None)
+        if not items:
+            return
+        self.flushes += 1
+        self.items_coalesced += len(items)
+        self.flush_fn(key, items)
+
+    def flush_all(self) -> None:
+        """Flush every pending bucket, in key-insertion order."""
+        for key in list(self._pending):
+            self.flush_key(key)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(bucket) for bucket in self._pending.values())
+
+    def pending_for(self, key: Hashable) -> int:
+        return len(self._pending.get(key, ()))
 
 
 def group_by_representative(

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Deque, Dict, List, Optional, Set, Tuple
 from collections import deque
 
-from ..brb.batching import Batch
+from ..brb.batching import Batch, KeyedCoalescer
 from ..brb.signed import SignedBroadcast
 from ..crypto import costs
 from ..crypto.keys import Keychain, KeyPair
@@ -102,6 +102,24 @@ class Astro2Replica(AstroReplicaBase):
         self._verified_certs: Set[Tuple[int, int]] = set()
         #: Payments settled in the current batch, pending CREDIT fan-out.
         self._credit_buffer: List[Payment] = []
+        #: Cross-delivery CREDIT coalescer (``credit_coalesce_delay`` > 0):
+        #: settled payments accumulate per beneficiary representative
+        #: *across* BRB deliveries; one flush signs one bigger sub-batch
+        #: per (this replica → representative) pair per window.  ``None``
+        #: keeps the per-delivery flush of Listing 9 byte-for-byte.
+        self._credit_coalescer: Optional[KeyedCoalescer[Payment]] = None
+        if config.credit_coalesce_delay > 0:
+            self._credit_coalescer = KeyedCoalescer(
+                sim,
+                self._flush_credit_group,
+                max_size=config.batch_size,
+                max_delay=config.credit_coalesce_delay,
+            )
+        #: Verify-cost bound per sub-batch certificate: a valid certificate
+        #: carries at most f+1 signatures (oversized ones are rejected by
+        #: ``verify_certificate`` after an O(1) length check), so charged
+        #: CPU never scales with an attacker-sized signature tuple.
+        self._max_cert_sigs = config.f + 1
         self.on(CreditMessage, self._on_credit)
 
     # ------------------------------------------------------------------
@@ -200,16 +218,35 @@ class Astro2Replica(AstroReplicaBase):
         # like signing, is amortized by the 2-level batching scheme.
         verify_cost = 0.0
         charged: Set[Tuple[int, int]] = set()
+        max_sigs = self._max_cert_sigs
         for payment in batch:
             for cert in payment.deps:
                 key = (cert.shard_id, cert.subbatch_digest)
                 if key not in self._verified_certs and key not in charged:
                     charged.add(key)
-                    verify_cost += costs.ECDSA_VERIFY * len(cert.signatures)
+                    # Clamp at f+1: an attacker-padded signature tuple is
+                    # rejected by verify_certificate's length check before
+                    # any signature is examined, so it cannot occupy more
+                    # CPU than an honest certificate.
+                    sigs = len(cert.signatures)
+                    if sigs > max_sigs:
+                        sigs = max_sigs
+                    verify_cost += costs.ECDSA_VERIFY * sigs
         if verify_cost:
             self.cpu.occupy(verify_cost)
         self._deliver_batch(origin, batch)
-        self._flush_credits()
+        coalescer = self._credit_coalescer
+        if coalescer is None:
+            self._flush_credits()
+        elif self._credit_buffer:
+            # Cross-delivery coalescing: stage this delivery's settled
+            # payments into the per-representative windows instead of
+            # unicasting one sub-batch per group right away.
+            settled, self._credit_buffer = self._credit_buffer, []
+            rep_get = self._rep_map.get
+            add = coalescer.add
+            for payment in settled:
+                add(rep_get(payment.beneficiary), payment)
 
     # ------------------------------------------------------------------
     # Settlement (Listings 8–9)
@@ -296,27 +333,38 @@ class Astro2Replica(AstroReplicaBase):
             else:
                 bucket.append(payment)
         for rep_node, payments in groups.items():
-            # One signature per sub-batch is the whole point of the
-            # second batching level.
-            self.cpu.occupy(costs.ECDSA_SIGN)
-            message = CreditMessage.create(
-                self.key, self.shard_id, tuple(payments)
+            self._emit_credit(rep_node, payments)
+
+    def _flush_credit_group(self, rep_node: int, payments: List[Payment]) -> None:
+        """Coalescer flush: one window's sub-batch for one representative."""
+        if not self.alive:
+            # A window may expire after this replica crashed; a crashed
+            # replica neither signs nor self-applies credits.
+            return
+        self._emit_credit(rep_node, payments)
+
+    def _emit_credit(self, rep_node: int, payments: List[Payment]) -> None:
+        # One signature per sub-batch is the whole point of the second
+        # batching level; coalescing only grows the sub-batch it covers.
+        self.cpu.occupy(costs.ECDSA_SIGN)
+        message = CreditMessage.create(
+            self.key, self.shard_id, tuple(payments)
+        )
+        if rep_node == self.node_id:
+            self._apply_credit(self.node_id, message)
+        else:
+            recv_cost = (
+                costs.MESSAGE_OVERHEAD
+                + costs.PER_BYTE_CPU * message.size
+                + costs.ECDSA_VERIFY
             )
-            if rep_node == self.node_id:
-                self._apply_credit(self.node_id, message)
-            else:
-                recv_cost = (
-                    costs.MESSAGE_OVERHEAD
-                    + costs.PER_BYTE_CPU * message.size
-                    + costs.ECDSA_VERIFY
-                )
-                self.send(
-                    rep_node,
-                    message,
-                    size=message.size,
-                    recv_cost=recv_cost,
-                    send_cost=costs.SEND_OVERHEAD,
-                )
+            self.send(
+                rep_node,
+                message,
+                size=message.size,
+                recv_cost=recv_cost,
+                send_cost=costs.SEND_OVERHEAD,
+            )
 
     def _on_credit(self, src: int, message: CreditMessage) -> None:
         self._apply_credit(src, message)

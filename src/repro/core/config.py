@@ -38,6 +38,18 @@ class AstroConfig:
     confirm_cost: float = 3e-6
     #: Astro II only: number of shards (§V).
     num_shards: int = 1
+    #: Astro II only: CREDIT coalescing window (seconds).  0 (default)
+    #: flushes CREDIT sub-batches after *every* BRB delivery, exactly the
+    #: paper's Listing 9 — each replica then unicasts up to N-1
+    #: ``CreditMessage``s per delivered batch, O(N²) credit messages per
+    #: batch round.  > 0 accumulates settled payments per beneficiary
+    #: representative *across* deliveries and flushes one signed sub-batch
+    #: per (settling replica → representative) pair per window, amortizing
+    #: ``MESSAGE_OVERHEAD`` and ``ECDSA_SIGN``/``VERIFY`` over ever-larger
+    #: sub-batches (the paper's 2-level batching, §VI-A, applied in time).
+    #: Bounded staleness: a credit waits at most this long before its
+    #: CREDIT leaves, so dependency certificates lag by at most one window.
+    credit_coalesce_delay: float = 0.0
     #: Maximum broadcast batches a representative keeps in flight;
     #: additional batches queue locally (flow control / backpressure).
     max_inflight_batches: int = 16
@@ -50,6 +62,11 @@ class AstroConfig:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.credit_coalesce_delay < 0:
+            raise ValueError(
+                f"credit_coalesce_delay must be >= 0, "
+                f"got {self.credit_coalesce_delay}"
+            )
 
     @property
     def quorum(self) -> int:

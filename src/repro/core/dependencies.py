@@ -216,6 +216,14 @@ def verify_certificate(
         needed = directory.faulty_bound(cert.shard_id) + 1
     except KeyError:
         return False
+    # Signature-count bounds, checked before any signature is examined:
+    # more than f+1 signatures can only be attacker padding (a Byzantine
+    # representative inflating every verifier's CPU — f+1 distinct valid
+    # signers already prove the sub-batch), and fewer than f+1 can never
+    # reach the distinct-signer threshold.  O(1) rejection keeps the
+    # per-certificate verify cost bounded by the honest size.
+    if not (0 < len(cert.signatures) <= needed):
+        return False
     if cert.payment not in cert.subbatch:
         return False
     if subbatch_digest_of(cert.subbatch) != cert.subbatch_digest:
@@ -256,15 +264,55 @@ class DependencyCollector:
     payment in the sub-batch whose beneficiary this representative serves.
     """
 
-    def __init__(self, directory: Directory, keychain: Keychain, my_node: int) -> None:
+    #: Default compaction bounds.  ``MAX_PENDING`` caps sub-batches still
+    #: short of f+1 CREDITs (a crashed settler strands its sub-batches
+    #: here forever, §VI-D); ``MAX_CERTIFIED`` caps the replay-dedup
+    #: memory of already-minted sub-batches.  Both evict oldest-first
+    #: from insertion-ordered dicts, so eviction order is a pure function
+    #: of arrival order — never of hash-seed-dependent set internals.
+    MAX_PENDING = 4096
+    MAX_CERTIFIED = 65536
+
+    def __init__(
+        self,
+        directory: Directory,
+        keychain: Keychain,
+        my_node: int,
+        max_pending: int = MAX_PENDING,
+        max_certified: int = MAX_CERTIFIED,
+    ) -> None:
+        if max_pending < 1 or max_certified < 1:
+            raise ValueError("compaction bounds must be >= 1")
         self.directory = directory
         self.keychain = keychain
         self.my_node = my_node
+        self.max_pending = max_pending
+        self.max_certified = max_certified
         #: (shard, subbatch digest) -> settling replica -> signature
         self._partial: Dict[Tuple[int, Digest], Dict[int, Signature]] = {}
         #: Payments of finished sub-batches (kept until certified).
         self._payments: Dict[Tuple[int, Digest], Tuple[Payment, ...]] = {}
-        self._certified: Set[Tuple[int, Digest]] = set()
+        #: Insertion-ordered (dict-as-FIFO): certified sub-batch key ->
+        #: settler node ids whose CREDITs are still outstanding.
+        #: Straggler CREDITs of a minted sub-batch are dropped here
+        #: instead of re-minting (a re-mint would double-inflate the
+        #: representative's projected balances).  An entry retires as
+        #: soon as every settler has reported: no honest straggler can
+        #: arrive after that, and a re-mint needs f+1 *distinct* signers
+        #: while at most f Byzantine replicas can resend — so retirement
+        #: is replay-safe and steady-state size tracks in-flight
+        #: sub-batches only.  The FIFO cap backstops keys whose
+        #: remaining settlers crashed (§VI-D); evicting one is bounded
+        #: damage: if its stragglers arrive anyway, the worst case is a
+        #: re-minted certificate inflating the *optimistic* projection —
+        #: the over-projected payments are rejected at settle (Listing 9
+        #: l.49) and settled value stays replay-protected by usedDeps.
+        #: The per-key sets are never iterated (membership/discard/len
+        #: only), so they cannot leak hash-seed-dependent order.
+        self._certified: Dict[Tuple[int, Digest], Set[int]] = {}
+        #: Eviction counters (observability / memory tests).
+        self.evicted_pending = 0
+        self.evicted_certified = 0
         #: shard -> (member set, f+1) — shard membership is static for the
         #: collector's lifetime and consulted once per CREDIT message.
         self._shard_info: Dict[int, Tuple[Set[int], int]] = {}
@@ -289,20 +337,52 @@ class DependencyCollector:
         members, needed = info
         if src not in members:
             return []
+        key = (shard, message.subbatch_digest)
+        outstanding = self._certified.get(key)
+        if outstanding is not None:
+            # Straggler for an already-minted sub-batch: retire its slot
+            # before any signature work (``src`` is transport-authentic,
+            # and a settler clearing only its *own* slot early gains
+            # nothing).  Once every settler has reported, the dedup
+            # entry is replay-safe to drop — see ``_certified``.
+            outstanding.discard(src)
+            if not outstanding:
+                del self._certified[key]
+            return []
         content = credit_content(shard, message.subbatch_digest)
         if message.signature.signer != replica_owner(src):
             return []
         if not verify(self.keychain, message.signature, content):
             return []
-        key = (shard, message.subbatch_digest)
-        if key in self._certified:
-            return []
-        bucket = self._partial.setdefault(key, {})
+        bucket = self._partial.get(key)
+        if bucket is None:
+            # The signature only covers the *claimed* digest; a Byzantine
+            # settler can validly sign digest A while shipping payments
+            # B.  Unchecked, a mismatched first arrival would poison the
+            # ``_payments`` buffer: the collector would mint certificates
+            # that ``verify_certificate`` rejects at settle time — *after*
+            # ``_apply_credit`` permanently inflated the representative's
+            # projected balances.  Validated only here, where the payload
+            # is actually buffered: later arrivals' payloads are ignored
+            # (their signatures endorse the digest, which already matches
+            # the buffered payments), so re-hashing them per CREDIT would
+            # spend O(|sub-batch|) per message for nothing.
+            if subbatch_digest_of(message.payments) != message.subbatch_digest:
+                return []
+            bucket = self._partial[key] = {}
+            self._payments[key] = message.payments
+            if len(self._partial) > self.max_pending:
+                self._evict_oldest_pending()
         bucket[src] = message.signature
-        self._payments.setdefault(key, message.payments)
         if len(bucket) < needed:
             return []
-        self._certified.add(key)
+        remaining = set(members)
+        remaining.difference_update(bucket)
+        if remaining:
+            self._certified[key] = remaining
+            if len(self._certified) > self.max_certified:
+                self._certified.pop(next(iter(self._certified)))
+                self.evicted_certified += 1
         signatures = tuple(bucket.values())[:needed]
         subbatch = self._payments.pop(key)
         self._partial.pop(key, None)
@@ -317,3 +397,27 @@ class DependencyCollector:
                 )
             )
         return certificates
+
+    def _evict_oldest_pending(self) -> None:
+        """Drop the oldest incomplete sub-batch (GC for stranded CREDITs).
+
+        A sub-batch whose settlers crashed before f+1 CREDITs arrived
+        would otherwise pin its payments and partial signatures forever.
+        Dropping is safe: certificates are an optimization of *liveness*
+        — if the remaining CREDITs ever do arrive, collection simply
+        restarts from zero signatures.
+        """
+        oldest = next(iter(self._partial))
+        del self._partial[oldest]
+        self._payments.pop(oldest, None)
+        self.evicted_pending += 1
+
+    @property
+    def pending_subbatches(self) -> int:
+        """Incomplete sub-batches currently buffered (memory tests)."""
+        return len(self._partial)
+
+    @property
+    def certified_count(self) -> int:
+        """Certified keys still awaiting straggler CREDITs (dedup state)."""
+        return len(self._certified)

@@ -145,12 +145,36 @@ class ThroughputMeter:
         Computed over the bucket-aligned sub-window actually counted by
         :meth:`count_between`, so a window that is not a multiple of the
         bucket width does not bias the rate downward.
+
+        When the window contains *no* fully aligned bucket (a tightly
+        shrunk peak-search probe window can be narrower than one bucket),
+        the aligned count is empty — returning 0.0 here used to read as
+        "zero achieved", which a peak search misreads as total
+        saturation.  Fall back to the overlapping buckets with each edge
+        bucket weighted by its fractional overlap with [start, end):
+        under the uniform-within-bucket assumption this is unbiased (and
+        exact for steady traffic), where counting whole edge buckets
+        would over-report without bound as the window shrinks.
         """
-        first = int(math.ceil(start / self.bucket_width))
-        last = int(math.floor(end / self.bucket_width))
-        covered = (last - first) * self.bucket_width
+        width = self.bucket_width
+        first = int(math.ceil(start / width))
+        last = int(math.floor(end / width))
+        covered = (last - first) * width
         if covered <= 0:
-            return 0.0
+            span = end - start
+            if span <= 0:
+                return 0.0
+            buckets = self._buckets
+            count = 0.0
+            for index in range(int(math.floor(start / width)),
+                               int(math.ceil(end / width))):
+                in_bucket = buckets.get(index, 0)
+                if not in_bucket:
+                    continue
+                bucket_start = index * width
+                overlap = min(end, bucket_start + width) - max(start, bucket_start)
+                count += in_bucket * (overlap / width)
+            return count / span
         return self.count_between(start, end) / covered
 
     def reset(self) -> None:

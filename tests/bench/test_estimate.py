@@ -14,6 +14,7 @@ from repro.bench.estimate import (
     analytic_capacity,
     bracket_for,
     calibrated_capacity,
+    credit_amortization,
     estimate_peaks,
     job_memory_bytes,
 )
@@ -30,7 +31,13 @@ from repro.bench.parallel import (
 from repro.bench.peak import PeakResult, find_peak
 from repro.bench.robustness import run_robustness_suite
 from repro.bench.scale import _SCALES
-from repro.bench.systems import build_astro2, build_bft, validate_systems
+from repro.bench.systems import (
+    build_astro2,
+    build_bft,
+    resolve_credit_coalesce,
+    scaled_batch_delay,
+    validate_systems,
+)
 from repro.sim.metrics import LatencySummary
 
 SYSTEMS = ("bft", "astro1", "astro2")
@@ -57,6 +64,63 @@ class TestAnalyticCapacity:
     def test_unknown_system_rejected(self):
         with pytest.raises(ValueError, match="unknown system"):
             analytic_capacity("raft", 4)
+
+
+class TestCreditCoalesceEstimation:
+    def test_amortization_one_when_off(self):
+        assert credit_amortization(32, 0.0) == 1.0
+        assert credit_amortization(32, -1.0) == 1.0
+
+    def test_amortization_grows_with_window_and_size(self):
+        assert credit_amortization(32, 0.4) > credit_amortization(32, 0.1) >= 1.0
+        window = 0.2
+        assert credit_amortization(64, window) > credit_amortization(8, window)
+
+    def test_coalescing_raises_astro2_capacity(self):
+        for size in (10, 32, 100):
+            off = analytic_capacity("astro2", size, credit_coalesce_delay=0.0)
+            on = analytic_capacity(
+                "astro2", size, credit_coalesce_delay=scaled_batch_delay(size)
+            )
+            assert on > off
+        # Other systems have no CREDIT path: the knob is a no-op.
+        for system in ("astro1", "bft"):
+            assert analytic_capacity(
+                system, 32, credit_coalesce_delay=1.0
+            ) == analytic_capacity(system, 32, credit_coalesce_delay=0.0)
+
+    def test_env_knob_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CREDIT_COALESCE", raising=False)
+        assert resolve_credit_coalesce(32) == 0.0
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "off")
+        assert resolve_credit_coalesce(32) == 0.0
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "0.25")
+        assert resolve_credit_coalesce(32) == 0.25
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "auto")
+        assert resolve_credit_coalesce(32) == scaled_batch_delay(32)
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "-1")
+        with pytest.raises(ValueError):
+            resolve_credit_coalesce(32)
+
+    def test_analytic_capacity_follows_env_when_unspecified(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CREDIT_COALESCE", raising=False)
+        off = analytic_capacity("astro2", 32)
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "auto")
+        assert analytic_capacity("astro2", 32) > off
+
+    def test_builder_env_and_explicit_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "auto")
+        system = build_astro2(4, seed=1)
+        assert system.config.credit_coalesce_delay == scaled_batch_delay(4)
+        # Explicit parameter beats the environment.
+        system = build_astro2(4, seed=1, credit_coalesce_delay=0.0)
+        assert system.config.credit_coalesce_delay == 0.0
+        # An explicit config beats both.
+        from repro.core.config import AstroConfig
+
+        config = AstroConfig(num_replicas=4, credit_coalesce_delay=0.07)
+        system = build_astro2(4, seed=1, config=config)
+        assert system.config.credit_coalesce_delay == 0.07
 
 
 class TestCalibration:

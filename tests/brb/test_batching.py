@@ -3,7 +3,12 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.brb.batching import Batch, Batcher, group_by_representative
+from repro.brb.batching import (
+    Batch,
+    Batcher,
+    KeyedCoalescer,
+    group_by_representative,
+)
 from repro.brb.quorums import byzantine_quorum, max_faulty, validate_system_size
 from repro.core.payment import Payment
 from repro.sim import Simulator
@@ -117,6 +122,115 @@ class TestBatcher:
             batcher.add(item)
         sim.run_until_idle()
         assert flushed == items
+
+
+class TestKeyedCoalescer:
+    def _make(self, sim, **kwargs):
+        flushed = []
+        coalescer = KeyedCoalescer(
+            sim, lambda key, items: flushed.append((key, list(items))), **kwargs
+        )
+        return coalescer, flushed
+
+    def test_keys_have_independent_windows(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=100, max_delay=0.05)
+        coalescer.add("a", 1)
+        sim.schedule(0.03, coalescer.add, "b", 2)
+        sim.run_until_idle()
+        # a's window opened at t=0, b's at t=0.03: two flushes, a first.
+        assert flushed == [("a", [1]), ("b", [2])]
+
+    def test_flush_on_size_per_key(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=2, max_delay=10.0)
+        coalescer.add("a", 1)
+        coalescer.add("b", 9)
+        coalescer.add("a", 2)
+        assert flushed == [("a", [1, 2])]
+        assert coalescer.pending_for("b") == 1
+        sim.run_until_idle()
+        assert flushed == [("a", [1, 2]), ("b", [9])]
+
+    def test_items_coalesce_across_adds_within_window(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=100, max_delay=0.05)
+        coalescer.add("a", 1)
+        sim.schedule(0.02, coalescer.add, "a", 2)
+        sim.schedule(0.04, coalescer.add, "a", 3)
+        sim.run_until_idle()
+        # One flush, timed from the key's *first* pending item.
+        assert flushed == [("a", [1, 2, 3])]
+        assert sim.now == pytest.approx(0.05)
+        assert coalescer.flushes == 1
+        assert coalescer.items_coalesced == 3
+
+    def test_max_size_one_flushes_immediately_without_timer(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=1, max_delay=5.0)
+        coalescer.add("a", 1)
+        assert flushed == [("a", [1])]
+        assert sim.pending == 0  # no timer left behind
+
+    def test_flush_all_in_key_insertion_order(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=100, max_delay=1.0)
+        coalescer.add_many("b", [1, 2])
+        coalescer.add("a", 3)
+        coalescer.flush_all()
+        assert flushed == [("b", [1, 2]), ("a", [3])]
+        assert coalescer.pending_count == 0
+        sim.run_until_idle()
+        assert len(flushed) == 2  # cancelled timers do not re-flush
+
+    def test_manual_flush_key_cancels_timer(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=100, max_delay=0.05)
+        coalescer.add("a", 1)
+        coalescer.flush_key("a")
+        sim.run_until_idle()
+        assert flushed == [("a", [1])]
+
+    def test_flush_empty_key_is_noop(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim)
+        coalescer.flush_key("missing")
+        assert flushed == []
+        assert coalescer.flushes == 0
+
+    def test_window_reopens_after_flush(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(sim, max_size=100, max_delay=0.05)
+        coalescer.add("a", 1)
+        sim.run_until_idle()
+        coalescer.add("a", 2)
+        sim.run_until_idle()
+        assert flushed == [("a", [1]), ("a", [2])]
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            KeyedCoalescer(sim, lambda k, items: None, max_size=0)
+        with pytest.raises(ValueError):
+            KeyedCoalescer(sim, lambda k, items: None, max_delay=-0.1)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers()), min_size=1,
+                    max_size=60))
+    def test_no_items_lost_and_none_reordered_within_key(self, items):
+        sim = Simulator()
+        flushed = []
+        coalescer = KeyedCoalescer(
+            sim, lambda key, group: flushed.extend((key, x) for x in group),
+            max_size=5, max_delay=0.01,
+        )
+        for key, value in items:
+            coalescer.add(key, value)
+        sim.run_until_idle()
+        assert sorted(flushed) == sorted(items)
+        for key in {k for k, _v in items}:
+            assert [v for k, v in flushed if k == key] == [
+                v for k, v in items if k == key
+            ]
 
 
 class TestGrouping:

@@ -190,3 +190,122 @@ def test_deps_attached_when_needed():
     system.settle_all()
     xlog = system.replica(0).state.xlog("bob")
     assert len(xlog.entries()[0].deps) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-delivery CREDIT coalescing (AstroConfig.credit_coalesce_delay)
+# ---------------------------------------------------------------------------
+
+from repro.core.config import AstroConfig  # noqa: E402
+
+
+def _coalescing_system(delay, batch_delay=0.01):
+    config = AstroConfig(
+        num_replicas=4, batch_delay=batch_delay,
+        credit_coalesce_delay=delay,
+    )
+    return Astro2System(
+        num_replicas=4, genesis=dict(GENESIS), config=config, seed=7,
+        track_kinds=True,
+    )
+
+
+def _staggered_alice_to_bob(system, times=(0.0, 0.05, 0.10)):
+    """Three single-payment batches from alice's rep, all delivering
+    within one generous coalescing window."""
+    for at in times:
+        if at == 0.0:
+            system.submit("alice", "bob", 5)
+        else:
+            system.sim.schedule(at, system.submit, "alice", "bob", 5)
+    system.settle_all()
+
+
+def test_coalescing_preserves_economics():
+    flushed = _coalescing_system(0.0)
+    coalesced = _coalescing_system(0.5)
+    for system in (flushed, coalesced):
+        _staggered_alice_to_bob(system)
+    assert coalesced.settled_counts() == flushed.settled_counts()
+    for index in range(4):
+        assert coalesced.balances_at(index) == flushed.balances_at(index)
+    assert coalesced.total_value() == sum(GENESIS.values())
+
+
+def test_coalescing_merges_credit_messages_across_deliveries():
+    """Three deliveries inside one window produce one CREDIT unicast per
+    (settling replica -> representative) pair instead of three."""
+    flushed = _coalescing_system(0.0)
+    _staggered_alice_to_bob(flushed)
+    coalesced = _coalescing_system(0.5)
+    _staggered_alice_to_bob(coalesced)
+    off = flushed.network.stats.by_kind.get("CreditMessage", 0)
+    on = coalesced.network.stats.by_kind.get("CreditMessage", 0)
+    # 3 batches x 3 non-self settling replicas, vs one coalesced flush
+    # per pair covering all three deliveries.
+    assert off == 9
+    assert on == 3
+
+
+def test_coalesced_subbatch_certificates_spendable():
+    """Certificates minted from coalesced (multi-delivery) sub-batches
+    must verify and materialize exactly like per-delivery ones."""
+    system = _coalescing_system(0.5)
+    _staggered_alice_to_bob(system)
+    # bob's genesis is 50; spending 60 needs the 15 of coalesced credits.
+    system.submit("bob", "carol", 60)
+    system.settle_all()
+    balances = system.balances_at(0)
+    assert balances["alice"] == 85
+    assert balances["bob"] == 5  # 50 + 15 - 60
+    assert system.total_value() == sum(GENESIS.values())
+
+
+def test_coalescing_bitwise_reproducible():
+    def run():
+        system = _coalescing_system(0.05)
+        _staggered_alice_to_bob(system)
+        return (
+            system.sim.now,
+            system.sim.events_executed,
+            tuple(system.settled_counts()),
+            system.replica(0).state.snapshot(),
+        )
+
+    assert run() == run()
+
+
+def test_coalescer_size_cap_flushes_full_subbatch():
+    """A bucket reaching batch_size flushes immediately, bounding both
+    staleness and CreditMessage wire size."""
+    config = AstroConfig(
+        num_replicas=4, batch_delay=0.01, batch_size=8,
+        credit_coalesce_delay=10.0,
+    )
+    system = Astro2System(
+        num_replicas=4, genesis=dict(GENESIS), config=config, seed=7,
+        track_kinds=True,
+    )
+    for _ in range(8):  # exactly one full sub-batch towards bob's rep
+        system.submit("alice", "bob", 1)
+    system.run(until=1.0)  # well inside the 10s window
+    assert system.network.stats.by_kind.get("CreditMessage", 0) >= 3
+    assert system.representative_of("bob").available_balance("bob") >= 50 + 8
+
+
+def test_crashed_replica_does_not_flush_coalesced_credits():
+    system = _coalescing_system(0.5)
+    system.submit("alice", "bob", 5)
+    system.run(until=0.2)  # delivered and settled, credits still pending
+    victim = system.replicas[0]
+    before = system.network.stats.by_kind.get("CreditMessage", 0)
+    system.faults.crash(victim.node_id)
+    system.settle_all()
+    # The crashed replica's window expired without signing or sending.
+    sent_after = system.network.stats.by_kind.get("CreditMessage", 0)
+    assert sent_after >= before  # others still flushed...
+    # ...f+1 live CREDITs suffice: the certificate minted without the victim.
+    rep_bob = system.representative_of("bob")
+    assert rep_bob.available_balance("bob") == 55
+    for bucket in rep_bob._collector._partial.values():
+        assert victim.node_id not in bucket

@@ -110,6 +110,25 @@ class TestCertificateVerification:
         )
         assert not verify_certificate(cert, directory, keychain)
 
+    def test_more_than_f_plus_one_signatures_rejected(self, setup, keychain):
+        """CPU-occupancy bound: a Byzantine representative padding a
+        certificate with extra (even valid) signatures must be rejected
+        by the O(1) length check, not verified signature by signature."""
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        cert = _certificate(keys, payments, signers=(0, 1, 2))
+        assert not verify_certificate(cert, directory, keychain)
+        # The honest size still verifies.
+        assert verify_certificate(
+            _certificate(keys, payments, signers=(0, 1)), directory, keychain
+        )
+
+    def test_empty_signature_tuple_rejected(self, setup, keychain):
+        directory, keys = setup
+        payments = (Payment("alice", 1, "bob", 10),)
+        cert = DependencyCertificate(payments[0], 0, payments, ())
+        assert not verify_certificate(cert, directory, keychain)
+
     def test_unknown_shard_rejected(self, setup, keychain):
         directory, keys = setup
         payments = (Payment("alice", 1, "bob", 10),)
@@ -169,6 +188,31 @@ class TestDependencyCollector:
         message = CreditMessage.create(keys[4], 0, payments)
         assert collector.add_credit(4, message) == []
 
+    def test_forged_payload_credit_rejected(self, setup, keychain):
+        """Regression: the signature only covers the *claimed* digest, so
+        a Byzantine settler can validly sign digest A while shipping
+        payments B.  An unvalidated first arrival used to poison the
+        ``_payments`` buffer (setdefault keeps the first copy), minting
+        certificates that ``verify_certificate`` rejects at settle — after
+        ``_apply_credit`` had already inflated the projected balance."""
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        real = (Payment("alice", 1, "bob", 10),)
+        forged = (Payment("alice", 1, "bob", 10_000),)
+        claimed_digest = subbatch_digest_of(real)
+        signature = sign(keys[0], credit_content(0, claimed_digest))
+        poisoned = CreditMessage(0, forged, signature,
+                                 subbatch_digest=claimed_digest)
+        # The forged first arrival is rejected outright...
+        assert collector.add_credit(0, poisoned) == []
+        assert collector.pending_subbatches == 0
+        # ...so the honest flow still mints a *valid* certificate.
+        collector.add_credit(0, CreditMessage.create(keys[0], 0, real))
+        minted = collector.add_credit(1, CreditMessage.create(keys[1], 0, real))
+        assert len(minted) == 1
+        assert minted[0].amount == 10
+        assert verify_certificate(minted[0], directory, keychain)
+
     def test_only_my_clients_get_certificates(self, setup, keychain):
         directory, keys = setup
         directory.register_client("carol", 5)  # another rep in shard 1
@@ -180,3 +224,114 @@ class TestDependencyCollector:
         collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
         minted = collector.add_credit(1, CreditMessage.create(keys[1], 0, payments))
         assert [cert.beneficiary for cert in minted] == ["bob"]
+
+
+class TestCollectorCompaction:
+    """GC bounds: sub-batches stranded below f+1 (crashed settlers,
+    §VI-D) and the certified-key dedup memory must not grow forever."""
+
+    def _stranded(self, keys, index):
+        """A sub-batch that only ever receives one CREDIT."""
+        return (Payment("alice", index, "bob", 1),)
+
+    def test_pending_subbatches_bounded(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(
+            directory, keychain, my_node=4, max_pending=8
+        )
+        for index in range(1, 101):
+            payments = self._stranded(keys, index)
+            collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+        assert collector.pending_subbatches <= 8
+        assert collector.evicted_pending == 100 - 8
+        # _payments stays in lockstep with _partial.
+        assert len(collector._payments) == collector.pending_subbatches
+
+    def test_eviction_is_oldest_first_and_survivors_still_certify(
+        self, setup, keychain
+    ):
+        directory, keys = setup
+        collector = DependencyCollector(
+            directory, keychain, my_node=4, max_pending=2
+        )
+        old = self._stranded(keys, 1)
+        collector.add_credit(0, CreditMessage.create(keys[0], 0, old))
+        newer = [self._stranded(keys, i) for i in (2, 3)]
+        for payments in newer:
+            collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+        # 'old' was evicted; the newest survivor still completes.
+        minted = collector.add_credit(
+            1, CreditMessage.create(keys[1], 0, newer[-1])
+        )
+        assert len(minted) == 1
+        # A straggler CREDIT for the evicted sub-batch restarts collection
+        # from zero instead of erroring.
+        assert collector.add_credit(1, CreditMessage.create(keys[1], 0, old)) == []
+        assert collector.add_credit(0, CreditMessage.create(keys[0], 0, old)) != []
+
+    def test_certified_dedup_memory_bounded(self, setup, keychain):
+        directory, keys = setup
+        collector = DependencyCollector(
+            directory, keychain, my_node=4, max_certified=16
+        )
+        for index in range(1, 51):
+            payments = self._stranded(keys, index)
+            collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+            minted = collector.add_credit(
+                1, CreditMessage.create(keys[1], 0, payments)
+            )
+            assert len(minted) == 1
+        assert collector.certified_count <= 16
+        assert collector.evicted_certified == 50 - 16
+        # Recent certifications still dedup straggler CREDITs.
+        recent = self._stranded(keys, 50)
+        assert collector.add_credit(
+            2, CreditMessage.create(keys[2], 0, recent)
+        ) == []
+
+    def test_certified_entry_retires_after_all_settlers_report(
+        self, setup, keychain
+    ):
+        """Dedup state is transient: once all N settlers' CREDITs arrived
+        the entry drops — replay-safely, since a re-mint would need f+1
+        distinct signers and at most f Byzantine replicas can resend."""
+        directory, keys = setup
+        collector = DependencyCollector(directory, keychain, my_node=4)
+        payments = (Payment("alice", 1, "bob", 10),)
+        messages = {
+            i: CreditMessage.create(keys[i], 0, payments) for i in range(4)
+        }
+        collector.add_credit(0, messages[0])
+        minted = collector.add_credit(1, messages[1])
+        assert len(minted) == 1
+        assert collector.certified_count == 1  # replicas 2, 3 outstanding
+        assert collector.add_credit(2, messages[2]) == []
+        assert collector.add_credit(3, messages[3]) == []
+        assert collector.certified_count == 0  # fully reported: retired
+        # A single replica replaying its CREDIT post-retirement restarts
+        # collection but cannot reach f+1 distinct signers alone.
+        assert collector.add_credit(0, messages[0]) == []
+        assert collector.pending_subbatches == 1
+
+    def test_long_run_memory_stays_bounded(self, setup, keychain):
+        """Sustained mixed traffic: memory is a function of the caps, not
+        of how many sub-batches ever passed through."""
+        directory, keys = setup
+        collector = DependencyCollector(
+            directory, keychain, my_node=4, max_pending=32, max_certified=64
+        )
+        for index in range(1, 2001):
+            payments = (Payment("alice", index, "bob", 1),)
+            collector.add_credit(0, CreditMessage.create(keys[0], 0, payments))
+            if index % 3 == 0:  # two thirds of sub-batches never complete
+                collector.add_credit(
+                    1, CreditMessage.create(keys[1], 0, payments)
+                )
+        assert collector.pending_subbatches <= 32
+        assert len(collector._payments) <= 32
+        assert collector.certified_count <= 64
+
+    def test_invalid_bounds_rejected(self, setup, keychain):
+        directory, keys = setup
+        with pytest.raises(ValueError):
+            DependencyCollector(directory, keychain, 4, max_pending=0)

@@ -189,11 +189,11 @@ print("reconfig", [latency.hex() for latency in latencies])
 """
 
 
-def _run_fresh_interpreter(hashseed: int) -> str:
+def _run_fresh_interpreter(hashseed: int, snippet: str = _HASHSEED_SNIPPET) -> str:
     src = Path(__file__).resolve().parents[2] / "src"
     env = dict(os.environ, PYTHONHASHSEED=str(hashseed), PYTHONPATH=str(src))
     result = subprocess.run(
-        [sys.executable, "-c", _HASHSEED_SNIPPET],
+        [sys.executable, "-c", snippet],
         capture_output=True, text=True, env=env, timeout=120,
     )
     assert result.returncode == 0, result.stderr
@@ -203,6 +203,47 @@ def _run_fresh_interpreter(hashseed: int) -> str:
 def test_view_change_and_reconfig_hashseed_independent():
     outputs = {_run_fresh_interpreter(seed) for seed in (0, 1, 4242)}
     assert len(outputs) == 1, f"histories diverged across hash seeds: {outputs}"
+
+
+# ---------------------------------------------------------------------------
+# Cross-delivery CREDIT coalescing: hash-seed independence
+# ---------------------------------------------------------------------------
+# The coalesced credit path flushes from the KeyedCoalescer's per-key
+# buckets and timers.  Keys are replica node ids but the payments inside
+# carry string client ids, so any ordering leak from a set/dict-internals
+# iteration in the staging or flush path would diverge across hash seeds.
+
+_COALESCE_SNIPPET = """
+import hashlib
+from repro.core.config import AstroConfig
+from repro.core.system import Astro2System
+
+GENESIS = {"a": 1000, "b": 1000, "c": 1000, "d": 1000}
+WORKLOAD = [("a", "b", 3), ("b", "c", 5), ("c", "d", 7), ("d", "a", 2)] * 5
+
+config = AstroConfig(num_replicas=4, batch_delay=0.01,
+                     credit_coalesce_delay=0.02)
+system = Astro2System(num_replicas=4, genesis=dict(GENESIS), config=config,
+                      seed=13)
+for index, transfer in enumerate(WORKLOAD):
+    # Staggered submissions: several deliveries per coalescing window.
+    system.sim.schedule(0.004 * index, system.submit, *transfer)
+system.settle_all()
+replica = system.replicas[0]
+print("coalesced", system.sim.now.hex(), system.sim.events_executed,
+      tuple(system.settled_counts()),
+      hashlib.sha256(repr(replica.state.snapshot()).encode()).hexdigest())
+"""
+
+
+def test_coalesced_credit_path_hashseed_independent():
+    outputs = {
+        _run_fresh_interpreter(seed, _COALESCE_SNIPPET)
+        for seed in (0, 1, 4242)
+    }
+    assert len(outputs) == 1, (
+        f"coalesced-credit histories diverged across hash seeds: {outputs}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -222,14 +263,20 @@ from repro.bench.systems import SYSTEM_BUILDERS
 def main():
     shards = int(os.environ.get("TEST_SIM_SHARDS", "1"))
     start_method = os.environ.get("TEST_START_METHOD") or None
+    coalesce = os.environ.get("TEST_COALESCE")
+    builder_kwargs = (
+        dict(credit_coalesce_delay=float(coalesce)) if coalesce else None
+    )
     params = dict(system="astro2", size=6, start_rate=800.0, duration=0.5,
                   warmup=0.3, refine_steps=1, payment_budget=6000,
-                  max_probes=3, reuse_state=True)
+                  max_probes=3, reuse_state=True,
+                  builder_kwargs=builder_kwargs)
     if shards > 1 and start_method is not None:
         # drive the engine directly so the start method is selectable
         from repro.bench.peak import find_peak
         from repro.sim.shard import ShardedOpenLoop
-        spec = dict(system="astro2", size=6, seed=9, builder_kwargs=None)
+        spec = dict(system="astro2", size=6, seed=9,
+                    builder_kwargs=builder_kwargs)
         with ShardedOpenLoop(spec, shards=shards,
                              start_method=start_method) as cluster:
             peak = find_peak(
@@ -254,7 +301,8 @@ if __name__ == "__main__":
 '''
 
 
-def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None):
+def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None,
+                       coalesce=None):
     script = tmp_path / "shard_snippet.py"
     script.write_text(_SHARD_SNIPPET)
     src = Path(__file__).resolve().parents[2] / "src"
@@ -269,6 +317,10 @@ def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None):
         env["TEST_START_METHOD"] = start_method
     else:
         env.pop("TEST_START_METHOD", None)
+    if coalesce is not None:
+        env["TEST_COALESCE"] = str(coalesce)
+    else:
+        env.pop("TEST_COALESCE", None)
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True, text=True, env=env, timeout=600,
@@ -287,6 +339,19 @@ def test_shard_count_and_hashseed_invariant_histories(tmp_path):
     assert len(outputs) == 1, (
         f"fig3-cell histories diverged across shard counts / hash seeds: "
         f"{outputs}"
+    )
+
+
+def test_coalesced_serial_vs_sharded_identical(tmp_path):
+    """With CREDIT coalescing on, the sharded engine must still merge a
+    byte-identical history (coalescer timers are shard-local; the bigger
+    CREDIT envelopes cross the shard outbox pickled compactly)."""
+    outputs = {
+        _run_shard_snippet(tmp_path, 0, shards, coalesce="0.02")
+        for shards in (1, 2)
+    }
+    assert len(outputs) == 1, (
+        f"coalesced fig3-cell histories diverged serial vs sharded: {outputs}"
     )
 
 

@@ -74,6 +74,35 @@ class TestThroughputMeter:
         meter = ThroughputMeter()
         assert meter.rate(5.0, 5.0) == 0.0
 
+    def test_rate_sub_bucket_window_not_fake_zero(self):
+        """Regression: a window narrower than one aligned bucket used to
+        return exactly 0.0 — which a tightly shrunk peak-search probe
+        window misreads as 'zero achieved', i.e. fake saturation."""
+        meter = ThroughputMeter(bucket_width=0.25)
+        # 100 completions/sec, uniformly.
+        for index in range(100):
+            meter.record(index / 100.0)
+        # [0.30, 0.45) holds no fully aligned 0.25s bucket.  Overlap
+        # weighting makes the fallback exact for uniform traffic.
+        assert meter.rate(0.30, 0.45) == pytest.approx(100.0)
+        # A window shrunk far below the bucket width must not inflate the
+        # reading (whole-bucket counting would report rate/width here).
+        assert meter.rate(0.30, 0.32) == pytest.approx(100.0)
+
+    def test_rate_sub_bucket_window_spanning_two_buckets(self):
+        meter = ThroughputMeter(bucket_width=1.0)
+        meter.record(0.9, count=3)
+        meter.record(1.1, count=5)
+        # [0.8, 1.2) spans two buckets, containing neither fully: each
+        # edge bucket contributes its overlap fraction (0.2 of each).
+        assert meter.rate(0.8, 1.2) == pytest.approx(
+            (3 * 0.2 + 5 * 0.2) / 0.4
+        )
+
+    def test_rate_sub_bucket_empty_traffic_still_zero(self):
+        meter = ThroughputMeter(bucket_width=1.0)
+        assert meter.rate(0.2, 0.4) == 0.0
+
     def test_count_between(self):
         meter = ThroughputMeter(bucket_width=1.0)
         meter.record(0.5, count=3)
