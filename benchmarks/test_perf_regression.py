@@ -384,9 +384,16 @@ def test_arrival_train_speedup(scale):
 
 def test_credit_coalescing_speedup(scale):
     """Cross-delivery CREDIT coalescing on the large credit-bound cell:
-    ≥ 5x fewer CREDIT messages, ≥ 1.15x simulated-pps — against the
-    per-delivery flush, which is byte-identical to the pre-coalescer
-    engine (so the off arm IS the pre-PR baseline, no calibration)."""
+    ≥ 5x fewer CREDIT transport messages, ≥ 1.15x simulated-pps — against
+    the per-delivery flush, which is byte-identical to the pre-coalescer
+    engine (so the off arm IS the pre-PR baseline, no calibration).
+
+    Throughput equivalence alone cannot detect a coalescer that silently
+    stops minting dependency certificates (uniform_genesis balances are
+    large enough that the measured window never needs credits), so the
+    certificate pipeline is asserted directly: the coalesced arm must
+    mint the same sub-batches under the same pair-varying europe_wan
+    latency the builders always use, and strand nothing."""
     cores = usable_cpus()
     window = scaled_batch_delay(LARGE_N)  # REPRO_CREDIT_COALESCE=auto
 
@@ -401,13 +408,17 @@ def test_credit_coalescing_speedup(scale):
             warmup=LARGE_WARMUP, seed=LARGE_SEED,
         )
         wall = time.perf_counter() - start
-        return result, wall, built.network.stats.by_kind.get("CreditMessage", 0)
+        by_kind = built.network.stats.by_kind
+        credits = by_kind.get("CreditMessage", 0) + by_kind.get("CreditBundle", 0)
+        minted = sum(r._collector.minted_subbatches for r in built.replicas)
+        pending = sum(r._collector.pending_subbatches for r in built.replicas)
+        return result, wall, credits, minted, pending
 
     # Interleaved A/B, best-of-2 walls to absorb timer noise.
-    off_result, off_wall, off_credits = run_once(0.0)
-    on_result, on_wall, on_credits = run_once(window)
-    _off2, off_wall2, _c = run_once(0.0)
-    _on2, on_wall2, _c = run_once(window)
+    off_result, off_wall, off_credits, off_minted, off_pending = run_once(0.0)
+    on_result, on_wall, on_credits, on_minted, on_pending = run_once(window)
+    _off2, off_wall2, _c, _m, _p = run_once(0.0)
+    _on2, on_wall2, _c, _m, _p = run_once(window)
     off_pps = off_result.confirmed / min(off_wall, off_wall2)
     on_pps = on_result.confirmed / min(on_wall, on_wall2)
 
@@ -422,6 +433,10 @@ def test_credit_coalescing_speedup(scale):
         "credit_messages_off": off_credits,
         "credit_messages_on": on_credits,
         "credit_message_drop": round(credit_drop, 2),
+        "minted_subbatches_off": off_minted,
+        "minted_subbatches_on": on_minted,
+        "pending_subbatches_off": off_pending,
+        "pending_subbatches_on": on_pending,
         "pps_off": round(off_pps),
         "pps_on": round(on_pps),
         "speedup": round(speedup, 3),
@@ -431,10 +446,24 @@ def test_credit_coalescing_speedup(scale):
     })
     print(f"\n[perf] credit coalescing ({LARGE_SYSTEM} N={LARGE_N}, "
           f"window={window:.3f}s): CREDIT messages {off_credits} -> "
-          f"{on_credits} ({credit_drop:.1f}x fewer), "
-          f"{off_pps:,.0f} -> {on_pps:,.0f} pay/wall-sec "
+          f"{on_credits} ({credit_drop:.1f}x fewer), certificates "
+          f"{off_minted} -> {on_minted}, stranded {off_pending} -> "
+          f"{on_pending}, {off_pps:,.0f} -> {on_pps:,.0f} pay/wall-sec "
           f"({speedup:.2f}x; report: {path})")
 
+    # The certificate pipeline must not degrade: sub-batches are cut per
+    # delivery in both arms, so minted counts may differ only by windows
+    # still in flight at the run's cutoff (regression guard for the
+    # stranded-credit collapse, where this dropped ~35x).
+    assert off_minted > 0
+    assert on_minted >= 0.90 * off_minted, (
+        f"coalescing degraded certificate minting: {off_minted} -> "
+        f"{on_minted} sub-batches"
+    )
+    assert on_pending <= max(64, off_pending * 2 + LARGE_N), (
+        f"coalescing strands sub-batches short of f+1 CREDITs: "
+        f"{on_pending} pending (off arm: {off_pending})"
+    )
     # The message-count drop is a deterministic count: assert everywhere.
     drop_floor = float(os.environ.get("REPRO_COALESCE_MIN_CREDIT_DROP", "5.0"))
     assert credit_drop >= drop_floor, (

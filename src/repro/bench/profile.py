@@ -25,7 +25,7 @@ import cProfile
 import os
 import pstats
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .runner import RunResult, run_open_loop
 from .systems import SYSTEM_BUILDERS
@@ -176,7 +176,10 @@ def main(argv=None) -> int:
                              "'auto' = one batch window).  Also enables "
                              "per-message-kind counters so the CREDIT "
                              "message count is reported alongside the "
-                             "phase breakdown.  Default: the "
+                             "phase breakdown (serial runs only: with "
+                             "--shards the counters live in worker "
+                             "processes and kind accounting is "
+                             "unavailable).  Default: the "
                              "REPRO_CREDIT_COALESCE environment knob.")
     parser.add_argument("--rate", type=float, default=DEFAULT_RATE,
                         help="offered payments/sec (simulated)")
@@ -203,7 +206,9 @@ def main(argv=None) -> int:
             credit_coalesce_delay=resolve_credit_coalesce(
                 args.num_replicas, args.coalesce
             ),
-            track_kinds=True,
+            # Kind counters live in worker processes under --shards and
+            # can't be read back; don't pay the per-send accounting there.
+            track_kinds=args.shards <= 1,
         )
 
     if args.shards > 1:
@@ -245,9 +250,12 @@ def main(argv=None) -> int:
     )
     if system is not None and system.network.stats.track_kinds:
         by_kind = system.network.stats.by_kind
-        credits = by_kind.get("CreditMessage", 0)
-        print(f"[profile] CREDIT messages sent={credits} "
+        credits = by_kind.get("CreditMessage", 0) + by_kind.get("CreditBundle", 0)
+        print(f"[profile] CREDIT transport messages sent={credits} "
               f"(all kinds: {dict(sorted(by_kind.items()))})")
+    elif args.shards > 1 and args.coalesce is not None:
+        print("[profile] (message-kind accounting unavailable with --shards: "
+              "the counters live in the shard worker processes)")
     print(
         f"[profile] confirmed={result.confirmed} wall={wall:.3f}s "
         f"simulated-payments/wall-clock-second={pps:,.0f}"

@@ -51,14 +51,15 @@ def resolve_credit_coalesce(
 ) -> float:
     """Resolve the ``REPRO_CREDIT_COALESCE`` knob to a window in seconds.
 
-    * unset / ``0`` / ``off`` — per-delivery CREDIT flushes (the default
+    * unset / ``0`` / ``off`` — per-delivery CREDIT unicasts (the default
       protocol behavior, byte-identical to previous releases);
-    * a float — that many seconds of cross-delivery coalescing
+    * a float — that many seconds of cross-delivery transport coalescing
       (:attr:`~repro.core.config.AstroConfig.credit_coalesce_delay`);
     * ``auto`` — one batch window (:func:`scaled_batch_delay`): every
       representative broadcasts about one batch per window, so each
-      coalesced CREDIT sub-batch covers ~N deliveries — the paper's
-      2-level amortization extended across a full batch round.
+      CREDIT bundle carries ~N per-delivery sub-batches — the paper's
+      2-level amortization extended across a full batch round at the
+      envelope level (sub-batch content and digests stay per-delivery).
     """
     raw = value if value is not None else os.environ.get(
         "REPRO_CREDIT_COALESCE", "0"
@@ -68,10 +69,17 @@ def resolve_credit_coalesce(
         return 0.0
     if raw == "auto":
         return scaled_batch_delay(num_replicas)
-    delay = float(raw)
+    try:
+        delay = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_CREDIT_COALESCE must be seconds >= 0, 'auto' or "
+            f"'off'; got {raw!r}"
+        ) from None
     if delay < 0:
         raise ValueError(
-            f"REPRO_CREDIT_COALESCE must be >= 0, 'auto' or 'off'; got {raw!r}"
+            f"REPRO_CREDIT_COALESCE must be seconds >= 0, 'auto' or "
+            f"'off'; got {raw!r}"
         )
     return delay
 

@@ -159,9 +159,12 @@ class KeyedCoalescer(Generic[T]):
     """Per-key :class:`Batcher`: one independent time/size window per key.
 
     Items accumulate in per-key buckets; a key's bucket is flushed as one
-    group when it reaches ``max_size`` items or ``max_delay`` after the
-    key's *first* pending item, whichever comes first.  ``flush_fn``
-    receives ``(key, items)``.
+    group when its accumulated weight reaches ``max_size`` or ``max_delay``
+    after the key's *first* pending item, whichever comes first.
+    ``flush_fn`` receives ``(key, items)``.  ``weight_fn`` maps an item to
+    its weight against ``max_size`` (default: every item weighs 1) — Astro
+    II's CREDIT transport windows weigh a buffered sub-batch by its
+    payment count, so the size cap bounds wire bytes, not message count.
 
     This is the keyed generalization of :class:`Batcher` (Astro II's
     cross-delivery CREDIT coalescing keys buckets by beneficiary
@@ -176,8 +179,9 @@ class KeyedCoalescer(Generic[T]):
     flushes by ``PYTHONHASHSEED``).
     """
 
-    __slots__ = ("sim", "flush_fn", "max_size", "max_delay", "_pending",
-                 "_timers", "flushes", "items_coalesced")
+    __slots__ = ("sim", "flush_fn", "max_size", "max_delay", "weight_fn",
+                 "_pending", "_weights", "_timers", "flushes",
+                 "items_coalesced")
 
     def __init__(
         self,
@@ -185,6 +189,7 @@ class KeyedCoalescer(Generic[T]):
         flush_fn: Callable[[Hashable, List[T]], None],
         max_size: int = DEFAULT_BATCH_SIZE,
         max_delay: float = DEFAULT_BATCH_DELAY,
+        weight_fn: Optional[Callable[[T], int]] = None,
     ) -> None:
         if max_size < 1:
             raise ValueError(f"max_size must be >= 1, got {max_size}")
@@ -194,16 +199,20 @@ class KeyedCoalescer(Generic[T]):
         self.flush_fn = flush_fn
         self.max_size = max_size
         self.max_delay = max_delay
+        self.weight_fn = weight_fn
         self._pending: Dict[Hashable, List[T]] = {}
+        self._weights: Dict[Hashable, int] = {}
         self._timers: Dict[Hashable, Event] = {}
         self.flushes = 0
         self.items_coalesced = 0
 
     def add(self, key: Hashable, item: T) -> None:
+        weight = 1 if self.weight_fn is None else self.weight_fn(item)
         bucket = self._pending.get(key)
         if bucket is None:
             self._pending[key] = [item]
-            if self.max_size <= 1:
+            self._weights[key] = weight
+            if weight >= self.max_size:
                 self.flush_key(key)
                 return
             self._timers[key] = self.sim.schedule(
@@ -211,7 +220,9 @@ class KeyedCoalescer(Generic[T]):
             )
             return
         bucket.append(item)
-        if len(bucket) >= self.max_size:
+        total = self._weights[key] + weight
+        self._weights[key] = total
+        if total >= self.max_size:
             self.flush_key(key)
 
     def add_many(self, key: Hashable, items: Sequence[T]) -> None:
@@ -229,6 +240,7 @@ class KeyedCoalescer(Generic[T]):
         if timer is not None:
             timer.cancel()
         items = self._pending.pop(key, None)
+        self._weights.pop(key, None)
         if not items:
             return
         self.flushes += 1

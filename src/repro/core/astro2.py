@@ -31,6 +31,7 @@ from ..sim.events import Simulator
 from ..sim.network import Network
 from .config import AstroConfig
 from .dependencies import (
+    CreditBundle,
     CreditMessage,
     DependencyCertificate,
     DependencyCollector,
@@ -42,6 +43,12 @@ from .replica import AstroReplicaBase
 from .xlog import ExclusiveLog
 
 __all__ = ["Astro2Replica"]
+
+
+def _credit_weight(message: CreditMessage) -> int:
+    """Weight of one buffered CREDIT against the transport window's size
+    cap: its payment count, so the cap bounds bundle wire size."""
+    return len(message.payments)
 
 
 class Astro2Replica(AstroReplicaBase):
@@ -103,24 +110,35 @@ class Astro2Replica(AstroReplicaBase):
         #: Payments settled in the current batch, pending CREDIT fan-out.
         self._credit_buffer: List[Payment] = []
         #: Cross-delivery CREDIT coalescer (``credit_coalesce_delay`` > 0):
-        #: settled payments accumulate per beneficiary representative
-        #: *across* BRB deliveries; one flush signs one bigger sub-batch
-        #: per (this replica → representative) pair per window.  ``None``
+        #: a *transport* window.  Sub-batches are still cut per delivery —
+        #: their composition is a pure function of the origin's batch
+        #: stream, so every settler signs bit-identical digests and the
+        #: collector's f+1 matching rule is unaffected — but the signed
+        #: :class:`CreditMessage`s accumulate per beneficiary
+        #: representative across deliveries and one :class:`CreditBundle`
+        #: per (this replica → representative) pair per window replaces up
+        #: to ``N·window/batch_window`` unicasts.  Buckets are weighed by
+        #: payment count so the size cap still bounds wire bytes.  ``None``
         #: keeps the per-delivery flush of Listing 9 byte-for-byte.
-        self._credit_coalescer: Optional[KeyedCoalescer[Payment]] = None
+        self._credit_coalescer: Optional[KeyedCoalescer[CreditMessage]] = None
         if config.credit_coalesce_delay > 0:
             self._credit_coalescer = KeyedCoalescer(
                 sim,
-                self._flush_credit_group,
+                self._flush_credit_window,
                 max_size=config.batch_size,
                 max_delay=config.credit_coalesce_delay,
+                weight_fn=_credit_weight,
             )
-        #: Verify-cost bound per sub-batch certificate: a valid certificate
-        #: carries at most f+1 signatures (oversized ones are rejected by
-        #: ``verify_certificate`` after an O(1) length check), so charged
-        #: CPU never scales with an attacker-sized signature tuple.
-        self._max_cert_sigs = config.f + 1
+        #: Per-shard verify-cost bound for sub-batch certificates: a valid
+        #: certificate carries at most ``f_shard + 1`` signatures of *its*
+        #: shard (oversized ones are rejected by ``verify_certificate``
+        #: after an O(1) length check), so charged CPU never scales with
+        #: an attacker-sized signature tuple — and with heterogeneous
+        #: shard sizes each certificate is priced by its own shard's
+        #: bound, not this shard's.
+        self._cert_sig_bounds: Dict[int, int] = {}
         self.on(CreditMessage, self._on_credit)
+        self.on(CreditBundle, self._on_credit_bundle)
 
     # ------------------------------------------------------------------
     # ACK guard — Listing 6's conflict check, on payment identifiers
@@ -209,6 +227,24 @@ class Astro2Replica(AstroReplicaBase):
     # ------------------------------------------------------------------
     # Broadcast / delivery
     # ------------------------------------------------------------------
+    def _cert_sig_bound(self, shard_id: int) -> int:
+        """Honest signature count for a certificate of ``shard_id``.
+
+        ``f_shard + 1``, memoized per shard (a registered shard's
+        membership is static).  An unknown shard bounds at 0 —
+        ``verify_certificate`` rejects it after one O(1) directory lookup
+        without examining any signature — and is *not* cached, so a
+        reconfiguration registering the shard later prices it correctly.
+        """
+        bound = self._cert_sig_bounds.get(shard_id)
+        if bound is None:
+            try:
+                bound = self.directory.faulty_bound(shard_id) + 1
+            except KeyError:
+                return 0
+            self._cert_sig_bounds[shard_id] = bound
+        return bound
+
     def _do_broadcast(self, seq: int, batch: Batch) -> None:
         self.brb.broadcast(seq, batch, batch.size_bytes)
 
@@ -218,19 +254,21 @@ class Astro2Replica(AstroReplicaBase):
         # like signing, is amortized by the 2-level batching scheme.
         verify_cost = 0.0
         charged: Set[Tuple[int, int]] = set()
-        max_sigs = self._max_cert_sigs
+        sig_bound = self._cert_sig_bound
         for payment in batch:
             for cert in payment.deps:
                 key = (cert.shard_id, cert.subbatch_digest)
                 if key not in self._verified_certs and key not in charged:
                     charged.add(key)
-                    # Clamp at f+1: an attacker-padded signature tuple is
-                    # rejected by verify_certificate's length check before
-                    # any signature is examined, so it cannot occupy more
-                    # CPU than an honest certificate.
+                    # Clamp at the *certificate's* shard bound: an
+                    # attacker-padded signature tuple is rejected by
+                    # verify_certificate's length check before any
+                    # signature is examined, so it cannot occupy more CPU
+                    # than an honest certificate of that shard.
                     sigs = len(cert.signatures)
-                    if sigs > max_sigs:
-                        sigs = max_sigs
+                    bound = sig_bound(cert.shard_id)
+                    if sigs > bound:
+                        sigs = bound
                     verify_cost += costs.ECDSA_VERIFY * sigs
         if verify_cost:
             self.cpu.occupy(verify_cost)
@@ -239,14 +277,19 @@ class Astro2Replica(AstroReplicaBase):
         if coalescer is None:
             self._flush_credits()
         elif self._credit_buffer:
-            # Cross-delivery coalescing: stage this delivery's settled
-            # payments into the per-representative windows instead of
-            # unicasting one sub-batch per group right away.
+            # Transport coalescing: cut and sign this delivery's
+            # sub-batches exactly like the per-delivery flush (identical
+            # content and CPU at every settler), but stage the non-self
+            # messages into the per-representative windows instead of
+            # unicasting each right away.
             settled, self._credit_buffer = self._credit_buffer, []
-            rep_get = self._rep_map.get
             add = coalescer.add
-            for payment in settled:
-                add(rep_get(payment.beneficiary), payment)
+            for rep_node, payments in self._credit_groups(settled).items():
+                message = self._sign_subbatch(payments)
+                if rep_node == self.node_id:
+                    self._apply_credit(self.node_id, message)
+                else:
+                    add(rep_node, message)
 
     # ------------------------------------------------------------------
     # Settlement (Listings 8–9)
@@ -317,12 +360,14 @@ class Astro2Replica(AstroReplicaBase):
     # ------------------------------------------------------------------
     # CREDIT fan-out (Listing 9 l.55-57, 2-level batching §VI-A)
     # ------------------------------------------------------------------
-    def _flush_credits(self) -> None:
-        if not self._credit_buffer:
-            return
-        settled, self._credit_buffer = self._credit_buffer, []
-        # Inlined group_by_representative: one dict lookup per payment
-        # instead of a lambda plus a method call.
+    def _credit_groups(self, settled: List[Payment]) -> Dict[int, List[Payment]]:
+        """One delivery's sub-batches, keyed by beneficiary representative.
+
+        Inlined group_by_representative: one dict lookup per payment
+        instead of a lambda plus a method call.  Insertion-ordered, so
+        sub-batch content and emission order are pure functions of the
+        settle order.
+        """
         rep_get = self._rep_map.get
         groups: Dict[int, List[Payment]] = {}
         for payment in settled:
@@ -332,42 +377,81 @@ class Astro2Replica(AstroReplicaBase):
                 groups[rep_node] = [payment]
             else:
                 bucket.append(payment)
-        for rep_node, payments in groups.items():
+        return groups
+
+    def _flush_credits(self) -> None:
+        if not self._credit_buffer:
+            return
+        settled, self._credit_buffer = self._credit_buffer, []
+        for rep_node, payments in self._credit_groups(settled).items():
             self._emit_credit(rep_node, payments)
 
-    def _flush_credit_group(self, rep_node: int, payments: List[Payment]) -> None:
-        """Coalescer flush: one window's sub-batch for one representative."""
+    def _flush_credit_window(
+        self, rep_node: int, messages: List[CreditMessage]
+    ) -> None:
+        """Coalescer flush: one window's buffered CREDITs, one envelope.
+
+        The sub-batches inside were signed at their own delivery times;
+        the bundle only amortizes per-message network and CPU overhead.
+        """
         if not self.alive:
             # A window may expire after this replica crashed; a crashed
-            # replica neither signs nor self-applies credits.
+            # replica sends nothing (the network would also drop a dead
+            # source, but skipping avoids building the bundle at all).
             return
-        self._emit_credit(rep_node, payments)
+        self._send_credits(rep_node, messages)
+
+    def _sign_subbatch(self, payments: List[Payment]) -> CreditMessage:
+        """Sign one per-delivery sub-batch.
+
+        One signature per sub-batch is the whole point of the second
+        batching level (§VI-A); transport coalescing never changes how
+        many sub-batches are signed, only how they ship.
+        """
+        self.cpu.occupy(costs.ECDSA_SIGN)
+        return CreditMessage.create(self.key, self.shard_id, tuple(payments))
+
+    def _send_credits(
+        self, rep_node: int, messages: List[CreditMessage]
+    ) -> None:
+        """Unicast one or more signed sub-batches as one network message.
+
+        The receiver verifies each sub-batch's signature individually
+        (they feed separate certificates), so only the envelope terms —
+        one message overhead, one send — amortize across the bundle.
+        """
+        if len(messages) == 1:
+            payload: object = messages[0]
+            size = messages[0].size
+        else:
+            payload = CreditBundle(tuple(messages))
+            size = payload.size
+        recv_cost = (
+            costs.MESSAGE_OVERHEAD
+            + costs.PER_BYTE_CPU * size
+            + costs.ECDSA_VERIFY * len(messages)
+        )
+        self.send(
+            rep_node,
+            payload,
+            size=size,
+            recv_cost=recv_cost,
+            send_cost=costs.SEND_OVERHEAD,
+        )
 
     def _emit_credit(self, rep_node: int, payments: List[Payment]) -> None:
-        # One signature per sub-batch is the whole point of the second
-        # batching level; coalescing only grows the sub-batch it covers.
-        self.cpu.occupy(costs.ECDSA_SIGN)
-        message = CreditMessage.create(
-            self.key, self.shard_id, tuple(payments)
-        )
+        message = self._sign_subbatch(payments)
         if rep_node == self.node_id:
             self._apply_credit(self.node_id, message)
         else:
-            recv_cost = (
-                costs.MESSAGE_OVERHEAD
-                + costs.PER_BYTE_CPU * message.size
-                + costs.ECDSA_VERIFY
-            )
-            self.send(
-                rep_node,
-                message,
-                size=message.size,
-                recv_cost=recv_cost,
-                send_cost=costs.SEND_OVERHEAD,
-            )
+            self._send_credits(rep_node, [message])
 
     def _on_credit(self, src: int, message: CreditMessage) -> None:
         self._apply_credit(src, message)
+
+    def _on_credit_bundle(self, src: int, bundle: CreditBundle) -> None:
+        for message in bundle.messages:
+            self._apply_credit(src, message)
 
     def _apply_credit(self, src: int, message: CreditMessage) -> None:
         certs = self._collector.add_credit(src, message)

@@ -38,15 +38,21 @@ class AstroConfig:
     confirm_cost: float = 3e-6
     #: Astro II only: number of shards (§V).
     num_shards: int = 1
-    #: Astro II only: CREDIT coalescing window (seconds).  0 (default)
-    #: flushes CREDIT sub-batches after *every* BRB delivery, exactly the
-    #: paper's Listing 9 — each replica then unicasts up to N-1
-    #: ``CreditMessage``s per delivered batch, O(N²) credit messages per
-    #: batch round.  > 0 accumulates settled payments per beneficiary
-    #: representative *across* deliveries and flushes one signed sub-batch
-    #: per (settling replica → representative) pair per window, amortizing
-    #: ``MESSAGE_OVERHEAD`` and ``ECDSA_SIGN``/``VERIFY`` over ever-larger
-    #: sub-batches (the paper's 2-level batching, §VI-A, applied in time).
+    #: Astro II only: CREDIT transport-coalescing window (seconds).  0
+    #: (default) unicasts every CREDIT sub-batch right after the BRB
+    #: delivery that settled it, exactly the paper's Listing 9 — up to N-1
+    #: ``CreditMessage``s per replica per delivered batch, O(N²) credit
+    #: messages per batch round.  > 0 buffers the signed per-delivery
+    #: messages per beneficiary representative and ships one
+    #: ``CreditBundle`` per (settling replica → representative) pair per
+    #: window, amortizing the per-message envelope (``MESSAGE_OVERHEAD``,
+    #: ``SEND_OVERHEAD``, wire headers) across its sub-batches.  Sub-batch
+    #: composition, digests, and signatures are *unchanged* — they remain
+    #: per-delivery, a pure function of the origin's batch stream, so
+    #: every settler signs bit-identical digests and certificate minting
+    #: is unaffected (merging sub-batch content across deliveries would
+    #: anchor the cut points to local delivery times, which diverge under
+    #: pair-varying WAN latency and leave f+1 CREDITs never matching).
     #: Bounded staleness: a credit waits at most this long before its
     #: CREDIT leaves, so dependency certificates lag by at most one window.
     credit_coalesce_delay: float = 0.0

@@ -31,6 +31,7 @@ from .directory import Directory
 from .payment import ClientId, Payment, PaymentId
 
 __all__ = [
+    "CreditBundle",
     "CreditMessage",
     "DependencyCertificate",
     "DependencyCollector",
@@ -124,6 +125,46 @@ class CreditMessage:
             (self.shard_id, self.payments, self.signature,
              self.subbatch_digest),
         )
+
+
+class CreditBundle:
+    """Several :class:`CreditMessage`s shipped as one network message.
+
+    The cross-delivery CREDIT coalescer is a *transport* window: every
+    sub-batch keeps its per-delivery composition, digest, and signature
+    (so each settler produces bit-identical digests and the f+1 matching
+    rule of :class:`DependencyCollector` works exactly as with per-delivery
+    unicasts), and only the envelopes are merged — one bundle per
+    (settling replica → representative) pair per window amortizes the
+    per-message network and CPU overhead.  Coalescing sub-batch *content*
+    across deliveries instead would anchor sub-batch boundaries to each
+    settler's local delivery times, which under pair-varying WAN latency
+    slices the settled-payment stream differently at every settler:
+    digests then never match and certificates stop minting.
+    """
+
+    __slots__ = ("messages", "size")
+
+    #: Envelope framing (count + shard routing); the per-sub-batch
+    #: digest/signature framing stays inside each message's own ``size``.
+    HEADER_BYTES = 16
+
+    def __init__(self, messages: Tuple[CreditMessage, ...]) -> None:
+        self.messages = messages
+        size = self.HEADER_BYTES
+        for message in messages:
+            size += message.size
+        self.size = size
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __reduce__(self):
+        # Compact cross-process pickling (repro.sim.shard).
+        return (CreditBundle, (self.messages,))
 
 
 class DependencyCertificate:
@@ -313,6 +354,10 @@ class DependencyCollector:
         #: Eviction counters (observability / memory tests).
         self.evicted_pending = 0
         self.evicted_certified = 0
+        #: Sub-batches that reached f+1 matching CREDITs (observability:
+        #: certificate production must not degrade when transport-level
+        #: coalescing is enabled).
+        self.minted_subbatches = 0
         #: shard -> (member set, f+1) — shard membership is static for the
         #: collector's lifetime and consulted once per CREDIT message.
         self._shard_info: Dict[int, Tuple[Set[int], int]] = {}
@@ -386,6 +431,7 @@ class DependencyCollector:
         signatures = tuple(bucket.values())[:needed]
         subbatch = self._payments.pop(key)
         self._partial.pop(key, None)
+        self.minted_subbatches += 1
         certificates = []
         for payment in subbatch:
             if self.directory.rep_of(payment.beneficiary) != self.my_node:

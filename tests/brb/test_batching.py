@@ -214,6 +214,39 @@ class TestKeyedCoalescer:
         with pytest.raises(ValueError):
             KeyedCoalescer(sim, lambda k, items: None, max_delay=-0.1)
 
+    def test_weight_fn_counts_against_size_cap(self):
+        """With ``weight_fn`` the size cut fires on accumulated weight,
+        not item count (CREDIT windows weigh sub-batches by payments)."""
+        sim = Simulator()
+        coalescer, flushed = self._make(
+            sim, max_size=5, max_delay=10.0, weight_fn=len
+        )
+        coalescer.add("a", [1, 2])
+        assert flushed == []
+        coalescer.add("a", [3, 4, 5])  # weight 2 + 3 >= 5
+        assert flushed == [("a", [[1, 2], [3, 4, 5]])]
+        assert coalescer.pending_for("a") == 0
+
+    def test_weight_fn_oversized_first_item_flushes_immediately(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(
+            sim, max_size=4, max_delay=10.0, weight_fn=len
+        )
+        coalescer.add("a", [1, 2, 3, 4, 5])
+        assert flushed == [("a", [[1, 2, 3, 4, 5]])]
+        assert sim.pending == 0  # no timer left behind
+
+    def test_weight_resets_after_flush(self):
+        sim = Simulator()
+        coalescer, flushed = self._make(
+            sim, max_size=4, max_delay=0.05, weight_fn=len
+        )
+        coalescer.add("a", [1, 2, 3])
+        sim.run_until_idle()  # timer flush at weight 3
+        coalescer.add("a", [4, 5, 6])
+        sim.run_until_idle()  # fresh window: weight restarts from 0
+        assert flushed == [("a", [[1, 2, 3]]), ("a", [[4, 5, 6]])]
+
     @given(st.lists(st.tuples(st.integers(0, 3), st.integers()), min_size=1,
                     max_size=60))
     def test_no_items_lost_and_none_reordered_within_key(self, items):

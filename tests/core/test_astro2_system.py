@@ -233,23 +233,26 @@ def test_coalescing_preserves_economics():
 
 
 def test_coalescing_merges_credit_messages_across_deliveries():
-    """Three deliveries inside one window produce one CREDIT unicast per
-    (settling replica -> representative) pair instead of three."""
+    """Three deliveries inside one window produce one CREDIT bundle per
+    (settling replica -> representative) pair instead of three unicasts.
+    The sub-batches inside stay per-delivery: only transport merges."""
     flushed = _coalescing_system(0.0)
     _staggered_alice_to_bob(flushed)
     coalesced = _coalescing_system(0.5)
     _staggered_alice_to_bob(coalesced)
     off = flushed.network.stats.by_kind.get("CreditMessage", 0)
-    on = coalesced.network.stats.by_kind.get("CreditMessage", 0)
-    # 3 batches x 3 non-self settling replicas, vs one coalesced flush
-    # per pair covering all three deliveries.
+    on_bundles = coalesced.network.stats.by_kind.get("CreditBundle", 0)
+    on_singles = coalesced.network.stats.by_kind.get("CreditMessage", 0)
+    # 3 batches x 3 non-self settling replicas, vs one coalesced bundle
+    # per pair carrying all three per-delivery sub-batches.
     assert off == 9
-    assert on == 3
+    assert on_bundles == 3
+    assert on_singles == 0
 
 
 def test_coalesced_subbatch_certificates_spendable():
-    """Certificates minted from coalesced (multi-delivery) sub-batches
-    must verify and materialize exactly like per-delivery ones."""
+    """Certificates minted from bundled (multi-delivery envelope)
+    sub-batches must verify and materialize exactly like unicast ones."""
     system = _coalescing_system(0.5)
     _staggered_alice_to_bob(system)
     # bob's genesis is 50; spending 60 needs the 15 of coalesced credits.
@@ -259,6 +262,23 @@ def test_coalesced_subbatch_certificates_spendable():
     assert balances["alice"] == 85
     assert balances["bob"] == 5  # 50 + 15 - 60
     assert system.total_value() == sum(GENESIS.values())
+
+
+def test_coalescing_subbatch_digests_match_across_settlers():
+    """Transport coalescing must leave sub-batch composition a pure
+    function of the origin's batch stream: with it on and off, the same
+    deliveries mint the same certificates (f+1 digests always match)."""
+    flushed = _coalescing_system(0.0)
+    _staggered_alice_to_bob(flushed)
+    coalesced = _coalescing_system(0.5)
+    _staggered_alice_to_bob(coalesced)
+    def minted(system):
+        return sorted(
+            (r.node_id, r._collector.minted_subbatches) for r in system.replicas
+        )
+    assert minted(coalesced) == minted(flushed)
+    for system in (flushed, coalesced):
+        assert all(r._collector.pending_subbatches == 0 for r in system.replicas)
 
 
 def test_coalescing_bitwise_reproducible():
@@ -273,6 +293,51 @@ def test_coalescing_bitwise_reproducible():
         )
 
     assert run() == run()
+
+
+def test_coalescing_mints_certificates_under_wan_jitter():
+    """Regression: sub-batch boundaries must not depend on local delivery
+    times.  Under pair-varying WAN latency every settler observes
+    deliveries at different instants; a coalescer that merged sub-batch
+    *content* per local time window would slice the settled-payment
+    stream differently at each settler, digests would never gather f+1
+    matching CREDITs, and a beneficiary on a tight balance could never
+    spend.  Transport-only coalescing keeps digests bit-identical, so
+    certificates must mint and pending sub-batches must drain to zero.
+    """
+    from repro.sim.latency import europe_wan
+
+    genesis = {"a1": 200, "a2": 200, "a3": 200, "bob": 5, "carol": 0}
+    config = AstroConfig(
+        num_replicas=7, batch_delay=0.01, credit_coalesce_delay=0.05,
+    )
+    system = Astro2System(
+        num_replicas=7, genesis=genesis, config=config, seed=11,
+        latency=europe_wan(7 + len(genesis) + 64, seed=11, pair_streams=True),
+    )
+    # Twelve staggered single-payment batches from three different
+    # origins, spanning several coalescing windows each.
+    for index, at in enumerate(x * 0.03 for x in range(4)):
+        for spender in ("a1", "a2", "a3"):
+            if at == 0.0:
+                system.submit(spender, "bob", 10)
+            else:
+                system.sim.schedule(at, system.submit, spender, "bob", 10)
+    system.settle_all()
+    # bob's genesis is 5; spending 100 needs ~10 of the 12 minted credits.
+    system.submit("bob", "carol", 100)
+    system.settle_all()
+    assert system.balances_at(0)["bob"] == 25  # 5 + 120 - 100
+    # Settling never deposits directly: carol's credit is provable at her
+    # representative (and spendable), pending her own next payment.
+    assert system.representative_of("carol").available_balance("carol") == 100
+    assert system.total_value() == sum(genesis.values())
+    # Every sub-batch gathered all N CREDITs at its destination
+    # representative: nothing stranded short of f+1, which is exactly
+    # the digests-match property (the old time-anchored coalescer left
+    # thousands of mismatched partials here and bob could never spend).
+    assert all(r._collector.pending_subbatches == 0 for r in system.replicas)
+    assert sum(r._collector.minted_subbatches for r in system.replicas) >= 12
 
 
 def test_coalescer_size_cap_flushes_full_subbatch():
@@ -296,16 +361,21 @@ def test_coalescer_size_cap_flushes_full_subbatch():
 def test_crashed_replica_does_not_flush_coalesced_credits():
     system = _coalescing_system(0.5)
     system.submit("alice", "bob", 5)
-    system.run(until=0.2)  # delivered and settled, credits still pending
+    system.run(until=0.2)  # delivered and settled, credits still windowed
     victim = system.replicas[0]
-    before = system.network.stats.by_kind.get("CreditMessage", 0)
+    rep_bob = system.representative_of("bob")
+    assert victim.node_id != rep_bob.node_id  # scenario precondition
+    assert system.network.stats.by_kind.get("CreditMessage", 0) == 0
     system.faults.crash(victim.node_id)
     system.settle_all()
-    # The crashed replica's window expired without signing or sending.
-    sent_after = system.network.stats.by_kind.get("CreditMessage", 0)
-    assert sent_after >= before  # others still flushed...
-    # ...f+1 live CREDITs suffice: the certificate minted without the victim.
-    rep_bob = system.representative_of("bob")
+    # Exactly the two live non-representative settlers unicast their
+    # (single sub-batch) CREDIT; the victim's expired window sends
+    # nothing, and bob's representative self-applied off the wire.
+    assert system.network.stats.by_kind.get("CreditMessage", 0) == 2
+    # f+1 live CREDITs suffice: the certificate minted without the victim.
     assert rep_bob.available_balance("bob") == 55
-    for bucket in rep_bob._collector._partial.values():
-        assert victim.node_id not in bucket
+    # The collector's straggler ledger still awaits exactly the victim —
+    # proof the mint used live signers only and nothing of the victim's
+    # ever arrived.
+    (outstanding,) = rep_bob._collector._certified.values()
+    assert outstanding == {victim.node_id}

@@ -170,3 +170,25 @@ def test_forged_cross_shard_certificate_rejected():
         rep._apply_credit(forger.node_id, message)
     system.settle_all()
     assert rep.available_balance(beneficiary) == 0
+
+
+def test_cert_verify_cost_bound_uses_certificate_shard():
+    """The delivery-time verify-cost clamp must price a certificate by
+    *its* shard's f+1, not the local shard's — with heterogeneous shard
+    sizes the two differ, and charging the local bound would mis-price
+    cross-shard certificates."""
+    from repro.brb.quorums import max_faulty
+
+    system = build(shards=2, per_shard=4)  # two shards of f=1
+    replica = system.replicas[0]
+    assert replica._cert_sig_bound(0) == 2  # own shard: f+1
+    assert replica._cert_sig_bound(1) == 2
+    # A shard the directory does not know costs nothing to reject:
+    # verify_certificate bails after one O(1) lookup.
+    assert replica._cert_sig_bound(2) == 0
+    # ...and the unknown verdict is not cached: a reconfiguration that
+    # registers a bigger shard (f=2) later prices its certificates at
+    # *its* bound of 3 signatures, not the local 2 (and not a stale 0).
+    big = tuple(range(100, 107))
+    system.directory.register_shard(2, big)
+    assert replica._cert_sig_bound(2) == max_faulty(len(big)) + 1 == 3
