@@ -5,7 +5,6 @@ latency at comparable load, and every system's latency grows toward its
 saturation point.
 """
 
-import math
 
 from repro.bench.fig4 import run_fig4
 

@@ -53,6 +53,7 @@ Override knobs (environment):
 * ``REPRO_PERF_LARGE_MIN_SPEEDUP`` — large-cell floor (default 0.85).
 * ``REPRO_TRAIN_MIN_SPEEDUP`` — arrival-train floor (default 1.02).
 * ``REPRO_SHARD_MIN_SPEEDUP`` — sharded-engine floor (default 1.4).
+* ``REPRO_SHARD_SCALING_MIN`` — 8-vs-4-shard scaling floor (default 1.25).
 * ``REPRO_COALESCE_MIN_SPEEDUP`` — coalescing pps floor (default 1.15).
 * ``REPRO_COALESCE_MIN_CREDIT_DROP`` — CREDIT count floor (default 5.0).
 """
@@ -530,4 +531,60 @@ def test_sharded_cell_speedup(scale):
     assert speedup >= floor, (
         f"sharded engine not fast enough: serial {serial_wall:.2f}s vs "
         f"sharded {sharded_wall:.2f}s ({speedup:.2f}x < {floor}x)"
+    )
+
+
+def test_async_shard_scaling(scale):
+    """Per-channel pacing must keep scaling past one shard per region:
+    8 shards (region sub-splitting) must beat 4 (one per region) on the
+    large cell when 8 cores exist — with byte-identical merged results.
+
+    This is the property the windowed-barrier engine could not deliver:
+    splitting a region used to collapse the single global window to the
+    intra-region floor.  Under CMB null-message pacing only the sibling
+    sub-shard channels are that narrow; inter-region channels keep their
+    wide floors, so the extra parallelism has to show up as wall-clock.
+    """
+    cores = usable_cpus()
+    if cores < 8:
+        pytest.skip(f"needs >= 8 cores for an 8-shard speedup (have {cores})")
+
+    spec = dict(system=LARGE_SYSTEM, size=LARGE_N, seed=LARGE_SEED,
+                builder_kwargs=None)
+    walls = {}
+    fingerprints = {}
+    for shards in (4, 8):
+        with ShardedOpenLoop(spec, shards=shards) as cluster:
+            cluster.prepare()
+            start = time.perf_counter()
+            result = cluster.probe(
+                rate=LARGE_RATE, duration=LARGE_DURATION,
+                warmup=LARGE_WARMUP, fresh=False, seed=LARGE_SEED,
+            )
+            walls[shards] = time.perf_counter() - start
+            fingerprints[shards] = (
+                _result_fingerprint(result), cluster.fingerprint()["state"]
+            )
+
+    # Identity across shard counts before any speed claim.
+    assert fingerprints[8] == fingerprints[4]
+
+    speedup = walls[4] / walls[8]
+    path = _update_perf_report("async_shard_scaling", {
+        "scenario": {"system": LARGE_SYSTEM, "num_replicas": LARGE_N,
+                     "rate": LARGE_RATE, "duration": LARGE_DURATION,
+                     "warmup": LARGE_WARMUP, "seed": LARGE_SEED},
+        "wall_seconds_4_shards": round(walls[4], 3),
+        "wall_seconds_8_shards": round(walls[8], 3),
+        "speedup_8_over_4": round(speedup, 3),
+        "cores": cores,
+    })
+    print(f"\n[perf] async shard scaling ({LARGE_SYSTEM} N={LARGE_N}): "
+          f"4 shards {walls[4]:.2f}s vs 8 shards {walls[8]:.2f}s = "
+          f"{speedup:.2f}x on {cores} cores (report: {path})")
+
+    floor = float(os.environ.get("REPRO_SHARD_SCALING_MIN", "1.25"))
+    assert speedup >= floor, (
+        f"8 shards not faster than 4: {walls[8]:.2f}s vs {walls[4]:.2f}s "
+        f"({speedup:.2f}x < {floor}x)"
     )

@@ -173,6 +173,11 @@ def _run_size_major(
     scale: BenchScale,
     jobs: Optional[int],
 ) -> Dict[str, object]:
+    # Imported lazily so ``python -m repro.bench.budget`` (the checker
+    # CLI) does not trip runpy's already-imported warning via the
+    # package __init__ → fig3 chain.
+    from .budget import fig3_budgets
+
     # Phase 1 — calibration anchors: one sub-saturation probe per
     # (system, anchor size).  Cheap (budget-capped), short, and the only
     # sequential dependency left in the whole figure.
@@ -197,6 +202,7 @@ def _run_size_major(
     anchor_results = execute(
         anchor_units, jobs=jobs, label=f"fig3-anchors[{scale.name}]",
         per_job_bytes=job_memory_bytes(max(anchor_sizes)),
+        budgets=fig3_budgets(anchor_sizes, systems, scale, anchors=True),
     )
     anchors: Dict[str, Dict[int, float]] = {name: {} for name in systems}
     for unit, result in zip(anchor_units, anchor_results):
@@ -227,6 +233,7 @@ def _run_size_major(
     results = execute(
         units, jobs=jobs, label=f"fig3[{scale.name}]",
         per_job_bytes=job_memory_bytes(max(sizes)),
+        budgets=fig3_budgets(sizes, systems, scale),
     )
     by_system: Dict[str, List] = {name: [] for name in systems}
     for unit, peak in zip(units, results):

@@ -9,7 +9,7 @@ consensus-ordered reconfiguration is an order of magnitude slower.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..crypto.keys import Keychain, replica_owner
 from ..reconfig.membership import ReconfigReplica

@@ -70,11 +70,19 @@ def _exec_find_peak(
     With ``REPRO_SIM_SHARDS`` (or ``sim_shards``) > 1 the Astro cells run
     each probe on the intra-simulation sharded engine — the replicas of
     the *single* simulated deployment are partitioned across worker
-    processes (:mod:`repro.sim.shard`) and the merged probe results are
+    processes paced by per-channel conservative clocks
+    (:mod:`repro.sim.shard`) and the merged probe results are
     byte-identical to the serial engine's, so the search takes the same
     decisions.  BFT cells always run serial (consensus replicas schedule
     timeout machinery at construction, which sharded workers cannot
     suppress on non-owned replicas).
+
+    Astro II cells at N ≥
+    :data:`~repro.bench.systems.CREDIT_COALESCE_AUTO_MIN_N` default to
+    the ``auto`` CREDIT coalescing window unless ``REPRO_CREDIT_COALESCE``
+    says otherwise — resolved inside the builders
+    (:func:`repro.bench.systems.resolve_credit_coalesce`), so serial and
+    sharded probes of one cell agree on the window.
     """
     search_kwargs = dict(
         start_rate=start_rate,

@@ -346,6 +346,23 @@ def _cell_label(unit: "WorkUnit") -> Any:
     return repr(tag)
 
 
+def _cell_entry(
+    unit: "WorkUnit", seconds: float, budgets: Optional[Dict[Any, float]]
+) -> Dict[str, Any]:
+    """One sweep-log cell record, with its budget when the enumerator
+    declared one for this unit's tag (pipelines have no per-cell tag, so
+    budgets apply to plain jobs only)."""
+    entry: Dict[str, Any] = {
+        "tag": _cell_label(unit),
+        "seconds": round(seconds, 4),
+    }
+    if budgets and not isinstance(unit, ScenarioPipeline):
+        budget = budgets.get(unit.tag)
+        if budget is not None:
+            entry["budget_seconds"] = round(budget, 2)
+    return entry
+
+
 def _run_unit_timed(unit: "WorkUnit") -> Tuple[Any, float]:
     """Worker entry point recording the unit's own wall-clock seconds."""
     start = time.perf_counter()
@@ -383,6 +400,7 @@ def execute(
     jobs: Optional[int] = None,
     label: Optional[str] = None,
     per_job_bytes: Optional[int] = None,
+    budgets: Optional[Dict[Any, float]] = None,
 ) -> List[Any]:
     """Run work units on the selected backend; results in submission order.
 
@@ -400,6 +418,12 @@ def execute(
     (``REPRO_BENCH_JOBS=auto``) to what available memory fits — worker
     memory is ``jobs × O(N²)`` at large N, so core count alone is the
     wrong ceiling on many-core boxes.  Explicit counts are never capped.
+
+    ``budgets`` maps unit tags to wall-clock ceilings in seconds (see
+    :mod:`repro.bench.budget`); a matching cell's timing entry gains a
+    ``"budget_seconds"`` field so the recorded sweep log carries its own
+    pass/fail criterion.  Budgets never alter execution — the checker
+    audits the artifact after the fact.
     """
     _ensure_executors_loaded()
     units = list(units)
@@ -426,7 +450,7 @@ def execute(
                 jobs=workers,
                 backend=backend,
                 cells=[
-                    {"tag": _cell_label(unit), "seconds": round(seconds, 4)}
+                    _cell_entry(unit, seconds, budgets)
                     for unit, (_result, seconds) in zip(units, timed)
                 ],
             )

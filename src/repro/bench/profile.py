@@ -25,7 +25,7 @@ import cProfile
 import os
 import pstats
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .runner import RunResult, run_open_loop
 from .systems import SYSTEM_BUILDERS

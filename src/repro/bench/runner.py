@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from ..sim.metrics import LatencyRecorder, LatencySummary, ThroughputMeter
 from ..workloads.drivers import OpenLoopDriver

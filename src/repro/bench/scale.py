@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 __all__ = ["BenchScale", "current_scale"]
 

@@ -27,7 +27,8 @@ from ..sim.latency import europe_wan
 from ..workloads.uniform import uniform_genesis
 
 __all__ = ["build_astro1", "build_astro2", "build_bft", "SYSTEM_BUILDERS",
-           "client_ids_of", "validate_systems", "resolve_credit_coalesce"]
+           "client_ids_of", "validate_systems", "resolve_credit_coalesce",
+           "scaled_batch_delay", "CREDIT_COALESCE_AUTO_MIN_N"]
 
 #: Spenders per replica in microbenchmarks; enough to spread load over
 #: every representative without bloating per-client state.
@@ -46,13 +47,26 @@ def scaled_batch_delay(num_replicas: int) -> float:
     return 0.05 * max(1.0, num_replicas / 12.0)
 
 
+#: Deployment size at which an *unset* ``REPRO_CREDIT_COALESCE`` flips to
+#: the auto window.  Below it coalescing saves little (few CREDIT targets
+#: per window) and per-delivery unicasts stay byte-identical to previous
+#: releases; at N ≳ 50 the CREDIT fan-in dominates NIC time and the
+#: envelope-level bundling is measured safe (cert parity is
+#: golden-tested), so large Fig. 3 cells get it by default.
+CREDIT_COALESCE_AUTO_MIN_N = 50
+
+
 def resolve_credit_coalesce(
     num_replicas: int, value: Optional[str] = None
 ) -> float:
     """Resolve the ``REPRO_CREDIT_COALESCE`` knob to a window in seconds.
 
-    * unset / ``0`` / ``off`` — per-delivery CREDIT unicasts (the default
-      protocol behavior, byte-identical to previous releases);
+    * unset — per-delivery CREDIT unicasts below
+      :data:`CREDIT_COALESCE_AUTO_MIN_N` replicas, the ``auto`` window at
+      or above it;
+    * ``0`` / ``off`` — per-delivery CREDIT unicasts (the default
+      protocol behavior at any size, byte-identical to previous
+      releases);
     * a float — that many seconds of cross-delivery transport coalescing
       (:attr:`~repro.core.config.AstroConfig.credit_coalesce_delay`);
     * ``auto`` — one batch window (:func:`scaled_batch_delay`): every
@@ -62,8 +76,12 @@ def resolve_credit_coalesce(
       envelope level (sub-batch content and digests stay per-delivery).
     """
     raw = value if value is not None else os.environ.get(
-        "REPRO_CREDIT_COALESCE", "0"
+        "REPRO_CREDIT_COALESCE"
     )
+    if raw is None:
+        if num_replicas >= CREDIT_COALESCE_AUTO_MIN_N:
+            return scaled_batch_delay(num_replicas)
+        return 0.0
     raw = raw.strip().lower()
     if raw in ("", "0", "off", "none"):
         return 0.0

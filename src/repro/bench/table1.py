@@ -33,7 +33,7 @@ jobs are independent and run concurrently on the parallel backend.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.system import Astro2System
 from ..consensus.system import BftSystem

@@ -8,10 +8,10 @@ observation window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
-from ..sim.metrics import LatencyRecorder, ThroughputMeter
+from ..sim.metrics import ThroughputMeter
 from ..workloads.drivers import ClosedLoopDriver
 from ..workloads.uniform import UniformWorkload
 from .systems import client_ids_of

@@ -19,7 +19,7 @@ replica delivers, READY amplification drags every correct replica along.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..crypto import costs
 from ..crypto.hashing import Digest, digest

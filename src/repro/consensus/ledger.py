@@ -9,7 +9,7 @@ every correct replica.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from ..core.accounts import AccountState
 from ..core.payment import ClientId, Payment

@@ -8,7 +8,7 @@ pre-prepare/prepare/commit, since BFT-SMaRt is the paper's baseline.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from ..crypto.hashing import Digest
 

@@ -8,7 +8,7 @@ accepts a result after f+1 matching replies (§VI-B).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.payment import ClientId, Payment, PaymentId
 from ..sim.events import Simulator

@@ -12,7 +12,7 @@ per-client sequence-gap queue that implements approval's *wait* (Listing
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from ..brb.batching import Batch, Batcher
 from ..sim.network import Network

@@ -13,7 +13,7 @@ generic over the variant.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..crypto.keys import Keychain, replica_owner
 from ..sim.events import Simulator

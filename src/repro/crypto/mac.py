@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Tuple
 
 from .hashing import canonical
-from .keys import CryptoError, Keychain
+from .keys import Keychain
 
 __all__ = ["MacAuthenticator", "MacTag"]
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from .hashing import canonical
-from .keys import CryptoError, Keychain, KeyPair
+from .keys import Keychain, KeyPair
 
 __all__ = ["Signature", "sign", "verify"]
 

@@ -12,13 +12,12 @@ plus state to the joiner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..consensus.config import BftConfig
 from ..consensus.system import BftSystem
 from ..core.payment import Payment
 from ..crypto import costs
-from ..sim.events import Simulator
 
 __all__ = ["measure_consensus_join_latency"]
 

@@ -13,9 +13,8 @@ amplification round), exactly as described in §A-C.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Set, Tuple
 
-from ..brb.quorums import byzantine_quorum
 from ..crypto import costs
 from ..crypto.hashing import digest
 from ..sim.node import Node

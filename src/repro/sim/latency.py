@@ -59,6 +59,53 @@ class LatencyModel:
         """
         return 0.0
 
+    def pair_min_delay(self, src: int, dst: int) -> float:
+        """Smallest delay :meth:`sample` can return *for this pair*.
+
+        The per-channel lookahead contract of asynchronous conservative
+        sharding (:mod:`repro.sim.shard`): no message src→dst sent at
+        time ``t`` may arrive before ``t + pair_min_delay(src, dst)``.
+        Topology-aware models override this with the pair's own floor
+        (e.g. the inter-region delay), which is what lets distant shards
+        run far ahead of the global :meth:`min_delay`.  The default is
+        the global floor — always safe.
+        """
+        return self.min_delay()
+
+    def channel_lookaheads(
+        self, node_ids: Sequence[int], owner: Dict[int, int]
+    ) -> Dict[Tuple[int, int], float]:
+        """Per-channel lookahead for a shard partition.
+
+        Returns ``{(src_shard, dst_shard): floor}`` for every ordered
+        pair of distinct shards, where ``floor`` is the minimum
+        :meth:`pair_min_delay` over node pairs crossing that channel.
+        Pure function of ``(node_ids, owner)`` so every shard worker
+        computes the identical map.  A channel with no crossing node
+        pair (an empty shard on either end) gets ``inf`` — nothing can
+        ever be sent on it, so it never constrains the receiver.
+        """
+        shards = sorted(set(owner.values()))
+        floors: Dict[Tuple[int, int], float] = {
+            (p, q): float("inf") for p in shards for q in shards if p != q
+        }
+        by_shard: Dict[int, List[int]] = {shard: [] for shard in shards}
+        for node in node_ids:
+            by_shard[owner[node]].append(node)
+        pair_min = self.pair_min_delay
+        for p in shards:
+            for q in shards:
+                if p == q:
+                    continue
+                floor = floors[(p, q)]
+                for src in by_shard[p]:
+                    for dst in by_shard[q]:
+                        delay = pair_min(src, dst)
+                        if delay < floor:
+                            floor = delay
+                floors[(p, q)] = floor
+        return floors
+
     @property
     def pair_decomposable(self) -> bool:
         """True when sampling for one (src, dst) pair never consumes
@@ -276,6 +323,16 @@ class RegionLatency(LatencyModel):
             smallest *= 1.0 - jitter
         return smallest
 
+    def pair_min_delay(self, src: int, dst: int) -> float:
+        # Same arithmetic shape as sample(): base * (1 + u) with
+        # u >= -jitter, and float rounding is monotone, so
+        # base * (1 - jitter) is a true lower bound on any draw.
+        base = self.base_delay(src, dst)
+        jitter = self.jitter
+        if jitter > 0:
+            base *= 1.0 - jitter
+        return base
+
     @property
     def pair_decomposable(self) -> bool:
         return self.jitter <= 0 or self._pairs is not None
@@ -298,9 +355,17 @@ class RegionLatency(LatencyModel):
         (parallel speedup is bounded by the largest shard), with the
         cross-shard delay floor as tie-break; the search is brute force
         over ``shards^regions ≤ 4^4`` candidates, deterministic by
-        enumeration order.  Falls back to round-robin with the global
-        floor when shards cannot all be non-empty (more shards than
-        populated regions).
+        enumeration order.
+
+        Beyond one shard per populated region the partition goes
+        *hierarchical*: regions are split into sub-shards proportionally
+        to population (see :meth:`_split_regions`).  Sibling sub-shards
+        of one region face each other over the intra-region floor, so
+        the scalar lookahead returned collapses to it — useless for a
+        single global window, but the asynchronous engine
+        (:mod:`repro.sim.shard`) paces every channel by
+        :meth:`channel_lookaheads`, where only the sibling channels are
+        narrow and every inter-region channel keeps its wide floor.
         """
         import itertools
 
@@ -308,7 +373,7 @@ class RegionLatency(LatencyModel):
         count = len(self.assignment)
         regions = sorted({self.assignment[node % count] for node in node_ids})
         if shards > len(regions):
-            return LatencyModel.shard_partition(self, node_ids, shards)
+            return self._split_regions(node_ids, shards, regions)
         population: Dict[str, int] = {region: 0 for region in regions}
         for node in node_ids:
             population[self.assignment[node % count]] += 1
@@ -342,6 +407,49 @@ class RegionLatency(LatencyModel):
             for node in node_ids
         }
         lookahead = cross_floor(best)
+        if self.jitter > 0:
+            lookahead *= 1.0 - self.jitter
+        return owner, lookahead
+
+    def _split_regions(
+        self, node_ids: List[int], shards: int, regions: List[str]
+    ) -> Tuple[Dict[int, int], float]:
+        """Hierarchical partition for ``shards > len(regions)``.
+
+        Every region gets at least one sub-shard; the remaining shards
+        go one at a time to the region with the highest population per
+        sub-shard (deterministic tie-break on region name).  Shard
+        indices are dense: regions in sorted order own consecutive index
+        blocks, and a region's nodes round-robin over its block in
+        ``node_ids`` order.  Sub-shards may end up empty when there are
+        more shards than nodes — harmless under per-channel pacing (an
+        empty shard never sends, so its outgoing channels are ``inf``).
+        """
+        count = len(self.assignment)
+        population: Dict[str, int] = {region: 0 for region in regions}
+        for node in node_ids:
+            population[self.assignment[node % count]] += 1
+        splits: Dict[str, int] = {region: 1 for region in regions}
+        for _ in range(shards - len(regions)):
+            region = max(
+                regions,
+                key=lambda name: (population[name] / splits[name], name),
+            )
+            splits[region] += 1
+        base_index: Dict[str, int] = {}
+        next_index = 0
+        for region in regions:
+            base_index[region] = next_index
+            next_index += splits[region]
+        owner: Dict[int, int] = {}
+        cursor: Dict[str, int] = {region: 0 for region in regions}
+        for node in node_ids:
+            region = self.assignment[node % count]
+            owner[node] = base_index[region] + cursor[region] % splits[region]
+            cursor[region] += 1
+        # Some region is split, so the tightest cross-shard pair is
+        # intra-region (the scalar floor; per-channel floors stay wide).
+        lookahead = self.intra_delay
         if self.jitter > 0:
             lookahead *= 1.0 - self.jitter
         return owner, lookahead

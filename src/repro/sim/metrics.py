@@ -8,7 +8,7 @@ Table I).  These classes collect exactly those series.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

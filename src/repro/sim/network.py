@@ -18,7 +18,7 @@ in which a message to a dead host is simply never delivered.
 from __future__ import annotations
 
 from heapq import heappush as _heappush
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from .events import Simulator
 from .latency import ConstantLatency, LatencyModel
@@ -89,7 +89,8 @@ class Network:
         #: events execute in this process, or None when not sharded.
         self._shard_owned: Optional[frozenset] = None
         #: Cross-shard send buffer: (arrival_time, src, src_seq, dst,
-        #: payload, recv_cost) tuples, drained at every window barrier.
+        #: payload, recv_cost) tuples, drained after every conservative
+        #: run slice and shipped on the owning shard's channel.
         self._shard_outbox: Optional[List[tuple]] = None
 
     # ------------------------------------------------------------------
@@ -103,9 +104,10 @@ class Network:
         Installed by a shard worker after system construction: the
         worker holds the full node set but executes only ``owned``;
         messages to other nodes are buffered with their already-computed
-        arrival time and merged into the owning shard's calendar at the
-        next conservative window barrier, in canonical
-        ``(arrival_time, src, src_seq)`` order.
+        arrival time, shipped on the per-shard-pair channel after the
+        current conservative run slice, and merged into the owning
+        shard's calendar in canonical ``(arrival_time, src, src_seq)``
+        order per channel batch.
         """
         self._shard_owned = owned
         self._shard_outbox = outbox

@@ -9,7 +9,7 @@ second (client-visible confirmations) and confirmation latency.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Sequence
 
 from ..core.payment import ClientId, Payment
 from ..sim.metrics import LatencyRecorder, ThroughputMeter

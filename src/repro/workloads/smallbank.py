@@ -26,7 +26,7 @@ The cross-shard probability of ``SendPayment`` is derived so that the
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.payment import ClientId
 

@@ -102,6 +102,24 @@ class TestCreditCoalesceEstimation:
         with pytest.raises(ValueError):
             resolve_credit_coalesce(32)
 
+    def test_unset_env_flips_to_auto_at_large_n(self, monkeypatch):
+        """Unset coalescing defaults to the auto window once the CREDIT
+        fan-in dominates (N >= CREDIT_COALESCE_AUTO_MIN_N); an explicit
+        ``off`` still wins at any size."""
+        from repro.bench.systems import CREDIT_COALESCE_AUTO_MIN_N
+
+        threshold = CREDIT_COALESCE_AUTO_MIN_N
+        monkeypatch.delenv("REPRO_CREDIT_COALESCE", raising=False)
+        assert resolve_credit_coalesce(threshold - 1) == 0.0
+        assert resolve_credit_coalesce(threshold) == scaled_batch_delay(
+            threshold
+        )
+        assert resolve_credit_coalesce(100) == scaled_batch_delay(100)
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "off")
+        assert resolve_credit_coalesce(100) == 0.0
+        monkeypatch.setenv("REPRO_CREDIT_COALESCE", "0")
+        assert resolve_credit_coalesce(100) == 0.0
+
     def test_analytic_capacity_follows_env_when_unspecified(self, monkeypatch):
         monkeypatch.delenv("REPRO_CREDIT_COALESCE", raising=False)
         off = analytic_capacity("astro2", 32)
@@ -239,10 +257,11 @@ def _fake_execute_factory(calls):
     """Stand-in backend: records every execute() call, fabricates
     result shapes per job kind."""
 
-    def fake_execute(units, jobs=None, label=None, per_job_bytes=None):
+    def fake_execute(units, jobs=None, label=None, per_job_bytes=None,
+                     budgets=None):
         units = list(units)
         calls.append(dict(label=label, units=units, jobs=jobs,
-                          per_job_bytes=per_job_bytes))
+                          per_job_bytes=per_job_bytes, budgets=budgets))
         results = []
         for unit in units:
             if isinstance(unit, ScenarioPipeline):
@@ -297,6 +316,11 @@ class TestFig3SizeMajorEnumeration:
             assert 0 < low < high
             assert unit.seed == 3
         assert cells["per_job_bytes"] == job_memory_bytes(10)
+        # Both phases ship a wall-clock budget for every cell tag.
+        for phase in (anchors, cells):
+            budgets = phase["budgets"]
+            assert set(budgets) == {u.tag for u in phase["units"]}
+            assert all(b > 0 for b in budgets.values())
         # Assembly: per-system series in size order, probe accounting on.
         assert list(result.peaks) == list(systems)
         assert result.sizes == list(sizes)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.brb.bracha import BrachaBroadcast, BrbEcho, BrbPrepare, BrbReady
+from repro.brb.bracha import BrachaBroadcast, BrbPrepare, BrbReady
 from repro.sim import ConstantLatency, Network, Node, Simulator, UniformLatency
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.brb.signed import SbAck, SbCommit, SbPrepare, SignedBroadcast
 from repro.crypto import Keychain, replica_owner, sign
 from repro.crypto.hashing import digest
-from repro.sim import ConstantLatency, Network, Node, Simulator, UniformLatency
+from repro.sim import ConstantLatency, Network, Node, Simulator
 
 
 def build(n=4, latency=None, guards=None):

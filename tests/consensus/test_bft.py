@@ -1,6 +1,5 @@
 """Unit/system tests for the consensus baseline (normal case + view change)."""
 
-import pytest
 
 from repro.consensus import BftConfig, BftSystem
 from repro.sim import UniformLatency

@@ -1,6 +1,5 @@
 """Focused tests of consensus protocol internals."""
 
-import pytest
 
 from repro.brb.batching import Batch
 from repro.consensus.config import BftConfig

@@ -1,6 +1,5 @@
 """System tests for Astro II (Listings 6–10, §IV-A) — single shard."""
 
-import pytest
 
 from repro.core.payment import Payment
 from repro.core.system import Astro2System

@@ -13,7 +13,7 @@ from repro.core.dependencies import (
 )
 from repro.core.directory import Directory
 from repro.core.payment import Payment
-from repro.crypto import Keychain, replica_owner, sign
+from repro.crypto import replica_owner, sign
 
 
 @pytest.fixture

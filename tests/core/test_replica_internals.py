@@ -1,6 +1,5 @@
 """Tests for replica-internal mechanics: flow control, ingestion rules."""
 
-import pytest
 
 from repro.core.config import AstroConfig
 from repro.core.payment import Payment

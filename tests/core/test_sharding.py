@@ -1,6 +1,5 @@
 """System tests for asynchronous sharding (§V)."""
 
-import pytest
 
 from repro.core.system import Astro2System
 

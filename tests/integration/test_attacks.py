@@ -1,6 +1,5 @@
 """Adversarial scenario tests: the attacks the paper defends against."""
 
-import pytest
 
 from repro.brb.batching import Batch
 from repro.brb.signed import SbCommit, SbPrepare

@@ -7,7 +7,6 @@ credits) — the end-user-visible outcome the paper holds constant while
 comparing the layers underneath.
 """
 
-import pytest
 
 from repro.consensus.system import BftSystem
 from repro.core.system import Astro1System, Astro2System

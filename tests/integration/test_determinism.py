@@ -355,6 +355,24 @@ def test_coalesced_serial_vs_sharded_identical(tmp_path):
     )
 
 
+def test_coalesced_shard_hashseed_matrix(tmp_path):
+    """The ISSUE-6 acceptance matrix: serial baseline vs shards ∈ {2,3,8}
+    × PYTHONHASHSEED ∈ {0,1,4242}, all with CREDIT coalescing on, each in
+    a fresh interpreter.  shards=8 exceeds the 6-node population, so the
+    async engine's empty-shard path (inf channel floors, whole-probe
+    slices) is part of the identity claim."""
+    baseline = _run_shard_snippet(tmp_path, 0, 1, coalesce="0.02")
+    for shards in (2, 3, 8):
+        for hashseed in (0, 1, 4242):
+            output = _run_shard_snippet(
+                tmp_path, hashseed, shards, coalesce="0.02"
+            )
+            assert output == baseline, (
+                f"history diverged from serial at shards={shards}, "
+                f"hashseed={hashseed}"
+            )
+
+
 def test_shard_start_method_invariant_histories(tmp_path):
     """fork and spawn workers must produce the same history."""
     outputs = {

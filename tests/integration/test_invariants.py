@@ -6,7 +6,6 @@ balances, per-client sequence monotonicity, cross-replica convergence,
 and double-spend freedom.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.system import Astro1System, Astro2System

@@ -9,7 +9,7 @@ from repro.crypto import Keychain, replica_owner
 from repro.reconfig.dbrb import DynamicBroadcast
 from repro.reconfig.membership import ReconfigReplica
 from repro.reconfig.views import View
-from repro.sim import ConstantLatency, Network, Node, Simulator
+from repro.sim import ConstantLatency, Network, Simulator
 
 
 def test_join_while_broadcast_in_flight_delivers_to_everyone():

@@ -1,6 +1,5 @@
 """End-to-end Smallbank runs over the real systems (§VI-C2 semantics)."""
 
-import pytest
 
 from repro.core.system import Astro2System
 from repro.sim.metrics import ThroughputMeter

@@ -5,7 +5,7 @@ import pytest
 from repro.crypto import Keychain, replica_owner
 from repro.reconfig.membership import ReconfigReplica
 from repro.reconfig.views import View
-from repro.sim import ConstantLatency, Network, Simulator, europe_wan
+from repro.sim import ConstantLatency, Network, Simulator
 
 
 def build(initial_members=4, total=8, state_bytes=10_000, latency=None):

@@ -16,6 +16,7 @@ from repro.sim.latency import ConstantLatency, europe_wan
 from repro.sim.shard import (
     ShardedOpenLoop,
     ShardingUnsupported,
+    _ChannelClocks,
     _WorkerState,
     resolve_shards,
     shard_owner,
@@ -84,16 +85,20 @@ def test_resolve_shards_env(monkeypatch):
         resolve_shards(0)
 
 
-def test_resolve_shards_auto_capped_at_region_count(monkeypatch):
-    """Beyond one shard per WAN region the partition degrades to the
-    narrow intra-region lookahead, so ``auto`` must not go there."""
+def test_resolve_shards_auto_scales_with_cpus(monkeypatch):
+    """Per-channel pacing scales past one shard per WAN region (regions
+    split into sub-shards), so ``auto`` follows the core count — capped
+    only by the all-to-all floor-chatter ceiling."""
     import repro.bench.parallel as parallel
+    from repro.sim.shard import _AUTO_SHARD_CAP
 
-    monkeypatch.setattr(parallel, "usable_cpus", lambda: 64)
     monkeypatch.setenv("REPRO_SIM_SHARDS", "auto")
-    assert resolve_shards() == 4  # len(EUROPE_REGIONS)
-    monkeypatch.setenv("REPRO_SIM_SHARDS", "8")  # explicit: honored
-    assert resolve_shards() == 8
+    monkeypatch.setattr(parallel, "usable_cpus", lambda: 6)
+    assert resolve_shards() == 6  # no longer capped at the region count
+    monkeypatch.setattr(parallel, "usable_cpus", lambda: 64)
+    assert resolve_shards() == _AUTO_SHARD_CAP
+    monkeypatch.setenv("REPRO_SIM_SHARDS", "16")  # explicit: honored
+    assert resolve_shards() == 16
 
 
 def test_shard_owner_partitions_evenly():
@@ -112,6 +117,51 @@ def test_single_shard_rejected():
 def test_bft_rejected():
     with pytest.raises(ShardingUnsupported):
         ShardedOpenLoop(dict(system="bft", size=4, seed=0), shards=2)
+
+
+# ---------------------------------------------------------------------------
+# Channel clocks (CMB null-message pacing)
+# ---------------------------------------------------------------------------
+
+
+def test_channel_clock_null_message_refresh():
+    """A peer's advertised floor advances its clock monotonically; stale
+    floors (possible when a payload ships without a floor advance) are
+    ignored rather than rewinding the horizon."""
+    clocks = _ChannelClocks({1: 0.004, 2: 0.010}, start=0.0)
+    assert clocks.horizon() == pytest.approx(0.004)
+    assert clocks.update(1, 0.5) is True
+    assert clocks.horizon() == pytest.approx(min(0.5 + 0.004, 0.0 + 0.010))
+    assert clocks.update(1, 0.2) is False  # stale: no rewind
+    assert clocks.clock[1] == 0.5
+    assert clocks.update(2, 1.0) is True
+    assert clocks.horizon() == pytest.approx(0.5 + 0.004)
+
+
+def test_channel_clock_stalled_channel_pins_horizon():
+    """A channel that never refreshes pins the horizon at its last clock
+    plus its lookahead, no matter how far the other channels advance."""
+    clocks = _ChannelClocks({1: 0.004, 2: 0.010}, start=0.0)
+    clocks.update(2, 100.0)
+    assert clocks.horizon() == pytest.approx(0.004)
+    assert not clocks.all_at_least(0.01)
+    clocks.update(1, 50.0)
+    assert clocks.horizon() == pytest.approx(50.004)
+    assert clocks.all_at_least(50.0)
+    assert not clocks.all_at_least(50.5)
+
+
+def test_channel_clock_unpopulated_and_empty():
+    """An unpopulated channel (inf lookahead) never constrains, and a
+    shard with no incoming channels at all is unbounded — the empty-shard
+    decoupling the hierarchical partition relies on."""
+    clocks = _ChannelClocks({1: float("inf"), 2: 0.01}, start=0.0)
+    assert clocks.horizon() == pytest.approx(0.01)
+    clocks.update(2, 3.0)
+    assert clocks.horizon() == pytest.approx(3.01)  # inf channel invisible
+    lonely = _ChannelClocks({}, start=0.0)
+    assert lonely.horizon() == float("inf")
+    assert lonely.all_at_least(1e9)
 
 
 # ---------------------------------------------------------------------------
@@ -226,8 +276,11 @@ def test_find_peak_job_falls_back_to_serial_on_unshardable_model(monkeypatch):
 _PROBES = [(900.0, 0.6, 0.3), (1400.0, 0.6, 0.3)]
 
 
-@pytest.mark.parametrize("shards", [2, 3])
+@pytest.mark.parametrize("shards", [2, 3, 4, 8])
 def test_sharded_astro2_byte_identical(shards):
+    # shards=8 > the 6-node population: the hierarchical partition emits
+    # empty sub-shards whose channels carry inf lookaheads — the async
+    # engine must keep byte-identity straight through them.
     serial_results, serial_state, serial_settled = _serial_reference(
         "astro2", 6, 13, _PROBES
     )

@@ -5,7 +5,6 @@ import pytest
 from repro.core.system import Astro2System
 from repro.workloads.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workloads.smallbank import (
-    SMALLBANK_MIX,
     SmallbankWorkload,
     bank,
     checking,
