@@ -399,3 +399,21 @@ def _exec_consensus_join(seed: int, size: int, state_bytes: int) -> float:
     return measure_consensus_join_latency(
         size, state_bytes=state_bytes, seed=seed
     )
+
+
+# ---------------------------------------------------------------------------
+# Byzantine robustness cells (BENCH_byzantine)
+# ---------------------------------------------------------------------------
+
+
+@register_executor("adversary_timeline")
+def _exec_adversary_timeline(seed: int, **params: Any) -> Dict[str, Any]:
+    """One (system × attack) Byzantine timeline with invariant monitoring.
+
+    Lazily imported like the Table I executors: ``repro.bench.adversary``
+    pulls in the whole adversary subsystem, which benign sweeps should
+    not pay for.
+    """
+    from .adversary import run_adversary_cell
+
+    return run_adversary_cell(seed=seed, **params)

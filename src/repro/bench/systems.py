@@ -102,11 +102,29 @@ def resolve_credit_coalesce(
     return delay
 
 
+def _install_adversary_kwarg(system: Any, adversary: Any, seed: int) -> Any:
+    """Shared ``adversary=`` handling for the Astro builders.
+
+    ``adversary`` is an attack name or spec dict for
+    :func:`repro.adversary.install_adversary` (imported lazily — benign
+    builds never load the adversary subsystem).  Installation happens at
+    construction time with no scheduler event unless the spec carries a
+    future ``at``, so sharded workers building the same system get
+    byte-identical event streams.
+    """
+    if adversary is not None:
+        from ..adversary import install_adversary
+
+        install_adversary(system, adversary, seed=seed)
+    return system
+
+
 def build_astro1(
     num_replicas: int,
     seed: int = 0,
     clients_per_replica: int = CLIENTS_PER_REPLICA,
     config: Optional[AstroConfig] = None,
+    adversary: Any = None,
 ) -> Astro1System:
     genesis = uniform_genesis(num_replicas * clients_per_replica)
     if config is None:
@@ -114,7 +132,7 @@ def build_astro1(
             num_replicas=num_replicas,
             batch_delay=scaled_batch_delay(num_replicas),
         )
-    return Astro1System(
+    system = Astro1System(
         num_replicas=num_replicas,
         genesis=genesis,
         config=config,
@@ -123,6 +141,7 @@ def build_astro1(
             num_replicas + len(genesis) + 64, seed=seed, pair_streams=True
         ),
     )
+    return _install_adversary_kwarg(system, adversary, seed)
 
 
 def build_astro2(
@@ -133,6 +152,7 @@ def build_astro2(
     config: Optional[AstroConfig] = None,
     credit_coalesce_delay: Optional[float] = None,
     track_kinds: bool = False,
+    adversary: Any = None,
 ) -> Astro2System:
     """Standard Astro II deployment.
 
@@ -154,7 +174,7 @@ def build_astro2(
             batch_delay=scaled_batch_delay(num_replicas),
             credit_coalesce_delay=credit_coalesce_delay,
         )
-    return Astro2System(
+    system = Astro2System(
         num_replicas=num_replicas,
         num_shards=num_shards,
         genesis=genesis,
@@ -165,6 +185,7 @@ def build_astro2(
             total + len(genesis) + 64, seed=seed, pair_streams=True
         ),
     )
+    return _install_adversary_kwarg(system, adversary, seed)
 
 
 def build_bft(

@@ -41,6 +41,22 @@ class FaultInjector:
         self.network.crash(node_id)
         self.log.append((self.sim.now, "crash", node_id))
 
+    def recover(self, node_id: int, at: float = 0.0) -> None:
+        """Un-crash ``node_id`` at absolute time ``at`` (now if in the past).
+
+        The node resumes sending and receiving with whatever protocol
+        state it held when it crashed — crash-*recovery*, the fault shape
+        the paper's crash-stop timelines (§VI-D) deliberately exclude but
+        recovery experiments need.  In-flight messages addressed to the
+        node while it was down stay dropped (the asynchronous network
+        never redelivers).
+        """
+        self.sim.schedule_at(max(at, self.sim.now), self._do_recover, node_id)
+
+    def _do_recover(self, node_id: int) -> None:
+        self.network.recover(node_id)
+        self.log.append((self.sim.now, "recover", node_id))
+
     # ------------------------------------------------------------------
     # Asynchrony (tc netem)
     # ------------------------------------------------------------------
@@ -65,8 +81,22 @@ class FaultInjector:
     def partition(
         self, group_a: Iterable[int], group_b: Iterable[int], at: float = 0.0
     ) -> None:
-        """Sever connectivity between two groups (both directions)."""
-        pairs = [(a, b) for a in group_a for b in group_b]
+        """Sever connectivity between two disjoint groups (both directions).
+
+        Raises ``ValueError`` on overlapping groups: a shared member would
+        generate a self-pair ``(a, a)`` and block a node from its own
+        loopback path, which no real partition can do.  Duplicate members
+        within one group are tolerated (the pair set is deduplicated).
+        """
+        set_a = set(group_a)
+        set_b = set(group_b)
+        overlap = set_a & set_b
+        if overlap:
+            raise ValueError(
+                f"partition groups must be disjoint; both contain "
+                f"{sorted(overlap)}"
+            )
+        pairs = sorted({(a, b) for a in set_a for b in set_b})
         self.sim.schedule_at(max(at, self.sim.now), self._do_partition, pairs)
 
     def _do_partition(self, pairs: List[Tuple[int, int]]) -> None:

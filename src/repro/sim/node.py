@@ -120,6 +120,29 @@ class Node:
         )
 
     # ------------------------------------------------------------------
+    # Egress taps (Byzantine behaviour injection, repro.adversary)
+    # ------------------------------------------------------------------
+    def install_egress_tap(self, tap: Any) -> None:
+        """Route this node's outgoing traffic through ``tap``.
+
+        ``tap.bind(raw_send, raw_broadcast)`` receives the untapped bound
+        methods, then ``tap.send`` / ``tap.broadcast`` shadow this
+        instance's :meth:`send` and :meth:`broadcast` (``send_all`` is
+        covered too — it calls ``self.send``).  Installation is
+        per-instance attribute shadowing, so nodes without a tap pay
+        nothing on the hot path, and an installed tap that merely
+        forwards reproduces the untapped history byte-for-byte.
+        """
+        tap.bind(Node.send.__get__(self), Node.broadcast.__get__(self))
+        self.send = tap.send            # type: ignore[method-assign]
+        self.broadcast = tap.broadcast  # type: ignore[method-assign]
+
+    def remove_egress_tap(self) -> None:
+        """Undo :meth:`install_egress_tap` (idempotent)."""
+        self.__dict__.pop("send", None)
+        self.__dict__.pop("broadcast", None)
+
+    # ------------------------------------------------------------------
     # Timers
     # ------------------------------------------------------------------
     def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:

@@ -8,10 +8,11 @@ reproducible from one integer.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Iterator
 
-__all__ = ["SeedSequence", "derive_rng"]
+__all__ = ["SeedSequence", "derive_rng", "stable_seed", "stable_rng"]
 
 
 def derive_rng(seed: int, *names: object) -> random.Random:
@@ -20,9 +21,32 @@ def derive_rng(seed: int, *names: object) -> random.Random:
     ``names`` qualify the stream (e.g. ``derive_rng(7, "latency", 3)``) so
     independent subsystems draw from independent streams even when they
     share the root seed.
+
+    .. warning:: the derivation uses ``hash()``, so with string names the
+       stream depends on ``PYTHONHASHSEED``.  Streams whose draws feed
+       *protocol behaviour* (anything compared across fresh interpreters)
+       must use :func:`stable_rng` instead.
     """
     key = (seed,) + tuple(str(n) for n in names)
     return random.Random(hash(key) & 0xFFFFFFFFFFFF)
+
+
+def stable_seed(seed: int, *names: object) -> int:
+    """Hash-seed-independent child seed from ``(seed, names)``.
+
+    A pure SHA-256 of the stable identity — never ``hash()`` — so the
+    value is identical across fresh interpreters with different
+    ``PYTHONHASHSEED`` values.  Used wherever derived entropy feeds
+    behaviour that golden/byte-identity tests compare (e.g. the Byzantine
+    adversary streams in :mod:`repro.adversary`).
+    """
+    material = repr((int(seed),) + tuple(str(n) for n in names)).encode()
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+def stable_rng(seed: int, *names: object) -> random.Random:
+    """A ``random.Random`` seeded by :func:`stable_seed` (hashseed-free)."""
+    return random.Random(stable_seed(seed, *names))
 
 
 class SeedSequence:

@@ -267,6 +267,11 @@ def main():
     builder_kwargs = (
         dict(credit_coalesce_delay=float(coalesce)) if coalesce else None
     )
+    adversary = os.environ.get("TEST_ADVERSARY")
+    if adversary:
+        # Armed at t=0 with no scheduler event, so every shard worker
+        # builds an identical attacked system.
+        builder_kwargs = dict(builder_kwargs or {}, adversary=adversary)
     params = dict(system="astro2", size=6, start_rate=800.0, duration=0.5,
                   warmup=0.3, refine_steps=1, payment_budget=6000,
                   max_probes=3, reuse_state=True,
@@ -302,7 +307,7 @@ if __name__ == "__main__":
 
 
 def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None,
-                       coalesce=None):
+                       coalesce=None, adversary=None):
     script = tmp_path / "shard_snippet.py"
     script.write_text(_SHARD_SNIPPET)
     src = Path(__file__).resolve().parents[2] / "src"
@@ -321,6 +326,10 @@ def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None,
         env["TEST_COALESCE"] = str(coalesce)
     else:
         env.pop("TEST_COALESCE", None)
+    if adversary is not None:
+        env["TEST_ADVERSARY"] = str(adversary)
+    else:
+        env.pop("TEST_ADVERSARY", None)
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True, text=True, env=env, timeout=600,
@@ -381,6 +390,63 @@ def test_shard_start_method_invariant_histories(tmp_path):
     }
     assert len(outputs) == 1, (
         f"histories diverged across start methods: {outputs}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Byzantine adversary timelines: hash-seed and engine invariance
+# ---------------------------------------------------------------------------
+# Attacked histories must be a pure function of scenario + seed like
+# benign ones: behaviours draw from SHA-256 stable_rng streams (never
+# hash()), and reactive tampering executes only at the shard worker that
+# owns the attacker.  One timeline per system, using attacks that *do*
+# consume behaviour RNG (selective's starved-set sample, replay's
+# probabilistic redelivery), so the stable-stream claim is actually
+# exercised; the forged-CREDIT attack additionally covers forged-message
+# construction.
+
+_ADVERSARY_SNIPPET = """
+import json
+from repro.bench.parallel import ScenarioJob, run_unit
+
+for system, attack in (("astro1", "selective"), ("astro2", "forge_credit"),
+                       ("astro2", "replay")):
+    cell = run_unit(ScenarioJob(
+        kind="adversary_timeline",
+        params=dict(system=system, size=7, attack=attack, num_clients=6,
+                    warmup=1.0, window=4.0, attack_offset=1.0,
+                    monitor_interval=0.5),
+        seed=21))
+    print(system, attack, [f"{v:.17g}" for v in cell["series"]],
+          cell["completed"], cell["tampered"],
+          json.dumps(cell["verdict"], sort_keys=True))
+"""
+
+
+def test_adversary_timeline_hashseed_independent():
+    outputs = {
+        _run_fresh_interpreter(seed, _ADVERSARY_SNIPPET)
+        for seed in (0, 1, 4242)
+    }
+    assert len(outputs) == 1, (
+        f"attacked histories diverged across hash seeds: {outputs}"
+    )
+    # The single shared output must show safe, actually-attacked runs.
+    output = outputs.pop()
+    assert output.count('"ok": true') == 3, output
+
+
+def test_adversary_serial_vs_sharded_identical(tmp_path):
+    """A Byzantine behavior (equivocating representative) active inside
+    the sharded engine must merge a history byte-identical to the serial
+    engine: the tap is installed at construction in every worker, arming
+    is event-free at t=0, and equivocation is reactive and RNG-free."""
+    outputs = {
+        _run_shard_snippet(tmp_path, 0, shards, adversary="equivocate")
+        for shards in (1, 2)
+    }
+    assert len(outputs) == 1, (
+        f"attacked histories diverged serial vs sharded: {outputs}"
     )
 
 

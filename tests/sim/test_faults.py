@@ -1,5 +1,7 @@
 """Unit tests for fault injection."""
 
+import pytest
+
 from repro.sim.events import Simulator
 from repro.sim.faults import FaultInjector
 from repro.sim.latency import ConstantLatency
@@ -79,3 +81,87 @@ def test_fault_log_records_all_kinds():
     sim.run_until_idle()
     kinds = [entry[1] for entry in faults.log]
     assert kinds == ["crash", "delay", "partition", "heal"]
+
+
+def test_recover_scheduled_at_time():
+    sim, network, nodes, faults = build()
+    received = []
+    nodes[2].on(str, lambda src, msg: received.append((sim.now, msg)))
+    faults.crash(2, at=0.5)
+    faults.recover(2, at=1.5)
+    sim.run(until=1.0)
+    assert network.is_crashed(2)
+    nodes[0].send(2, "while-down")
+    sim.run(until=1.4)
+    assert received == []  # dropped, never redelivered
+    sim.run(until=1.6)
+    assert not network.is_crashed(2)
+    nodes[0].send(2, "after-recovery")
+    sim.run_until_idle()
+    assert [msg for _, msg in received] == ["after-recovery"]
+    assert faults.log == [(0.5, "crash", 2), (1.5, "recover", 2)]
+
+
+def test_recover_in_past_fires_now():
+    sim, network, nodes, faults = build()
+    faults.crash(1, at=0.0)
+    sim.run_until_idle()
+    faults.recover(1, at=0.0)
+    sim.run_until_idle()
+    assert not network.is_crashed(1)
+
+
+def test_partition_overlapping_groups_rejected():
+    sim, network, nodes, faults = build()
+    with pytest.raises(ValueError, match="disjoint.*\\[1\\]"):
+        faults.partition([0, 1], [1, 2])
+    # Nothing was scheduled, nothing blocked.
+    sim.run_until_idle()
+    assert faults.log == []
+    received = []
+    nodes[1].on(str, lambda src, msg: received.append(msg))
+    nodes[1].on(int, lambda src, msg: received.append(msg))
+    nodes[0].send(1, "through")
+    nodes[1].send(1, 7)  # loopback stays intact
+    sim.run_until_idle()
+    assert len(received) == 2 and set(received) == {7, "through"}
+
+
+def test_crash_recover_timeline():
+    """A crash→recover fault timeline on a full system (§VI-D shape).
+
+    N=7 tolerates the crash (f=2); after recovery the node rejoins the
+    network — it receives again and the run keeps settling payments
+    through the whole window.
+    """
+    from repro.bench.systems import build_astro1
+    from repro.bench.timeline import run_timeline
+
+    system = build_astro1(7, seed=3)
+    victim = system.replica_node_ids[-1]
+
+    def crash_then_recover(sys_, at):
+        sys_.faults.crash(victim, at=at)
+        sys_.faults.recover(victim, at=at + 1.5)
+
+    result = run_timeline(
+        system, num_clients=6, warmup=1.0, window=4.0,
+        fault=crash_then_recover, fault_offset=1.0, seed=3,
+    )
+    kinds = [entry[1] for entry in system.faults.log]
+    assert kinds == ["crash", "recover"]
+    assert not system.network.is_crashed(victim)
+    assert system.replica_by_node(victim).alive
+    assert result.completed > 0
+    # Settlement continued after the recovery point (last window second).
+    assert result.series[-1] > 0
+
+
+def test_partition_duplicate_members_deduplicated():
+    sim, network, nodes, faults = build()
+    faults.partition([0, 0, 1], [2, 2, 3], at=0.0)
+    sim.run_until_idle()
+    (_, kind, pairs), = faults.log
+    assert kind == "partition"
+    assert list(pairs) == sorted(set(pairs))
+    assert set(pairs) == {(0, 2), (0, 3), (1, 2), (1, 3)}
