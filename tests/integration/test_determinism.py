@@ -255,7 +255,7 @@ def test_coalesced_credit_path_hashseed_independent():
 # 2 and 4, in fresh interpreters under different PYTHONHASHSEEDs, and
 # under both fork and spawn start methods.
 
-_SHARD_SNIPPET = '''
+_SHARD_SNIPPET = """
 import os
 from repro.bench.parallel import ScenarioJob, run_unit
 from repro.bench.systems import SYSTEM_BUILDERS
@@ -303,7 +303,7 @@ def main():
 
 if __name__ == "__main__":
     main()
-'''
+"""
 
 
 def _run_shard_snippet(tmp_path, hashseed, shards, start_method=None,
