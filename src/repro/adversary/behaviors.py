@@ -487,8 +487,7 @@ class OverloadClient(ByzantineBehavior):
     BURST = 16
 
     def on_arm(self) -> None:
-        owned = getattr(self.replica.network, "_shard_owned", None)
-        if owned is not None and self.replica.node_id not in owned:
+        if not self.replica.owns(self.replica.node_id):
             return
         correct = [
             r for r in self.system.replica_node_ids

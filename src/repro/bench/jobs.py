@@ -167,11 +167,11 @@ def _exec_estimate_anchor(
     elapsed = warmup + duration
     utilization = 0.0
     for replica in built.replicas:
-        node = getattr(replica, "node", replica)
+        transport = getattr(replica, "transport", replica)
         utilization = max(
             utilization,
-            node.cpu.utilization(elapsed),
-            node.link.utilization(elapsed),
+            transport.cpu.utilization(elapsed),
+            transport.link.utilization(elapsed),
         )
     if result.goodput_ratio < SATURATION_GOODPUT or utilization >= 0.99:
         capacity = result.achieved  # saturated: achieved reads capacity

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..crypto.hashing import Digest, digest
-from ..sim.events import Event, Simulator
+from ..transport.interface import Clock, TimerHandle
 
 __all__ = ["Batch", "Batcher", "KeyedCoalescer", "group_by_representative",
            "DEFAULT_BATCH_SIZE", "DEFAULT_BATCH_DELAY"]
@@ -106,7 +106,7 @@ class Batcher(Generic[T]):
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         flush_fn: Callable[[List[T]], None],
         max_size: int = DEFAULT_BATCH_SIZE,
         max_delay: float = DEFAULT_BATCH_DELAY,
@@ -115,12 +115,12 @@ class Batcher(Generic[T]):
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
-        self.sim = sim
+        self.clock = clock
         self.flush_fn = flush_fn
         self.max_size = max_size
         self.max_delay = max_delay
         self._pending: List[T] = []
-        self._timer: Optional[Event] = None
+        self._timer: Optional[TimerHandle] = None
         self.batches_flushed = 0
 
     def add(self, item: T) -> None:
@@ -128,7 +128,7 @@ class Batcher(Generic[T]):
         if len(self._pending) >= self.max_size:
             self.flush()
         elif self._timer is None:
-            self._timer = self.sim.schedule(self.max_delay, self._on_timer)
+            self._timer = self.clock.schedule(self.max_delay, self._on_timer)
 
     def add_many(self, items: Sequence[T]) -> None:
         for item in items:
@@ -179,13 +179,13 @@ class KeyedCoalescer(Generic[T]):
     flushes by ``PYTHONHASHSEED``).
     """
 
-    __slots__ = ("sim", "flush_fn", "max_size", "max_delay", "weight_fn",
+    __slots__ = ("clock", "flush_fn", "max_size", "max_delay", "weight_fn",
                  "_pending", "_weights", "_timers", "flushes",
                  "items_coalesced")
 
     def __init__(
         self,
-        sim: Simulator,
+        clock: Clock,
         flush_fn: Callable[[Hashable, List[T]], None],
         max_size: int = DEFAULT_BATCH_SIZE,
         max_delay: float = DEFAULT_BATCH_DELAY,
@@ -195,14 +195,14 @@ class KeyedCoalescer(Generic[T]):
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
-        self.sim = sim
+        self.clock = clock
         self.flush_fn = flush_fn
         self.max_size = max_size
         self.max_delay = max_delay
         self.weight_fn = weight_fn
         self._pending: Dict[Hashable, List[T]] = {}
         self._weights: Dict[Hashable, int] = {}
-        self._timers: Dict[Hashable, Event] = {}
+        self._timers: Dict[Hashable, TimerHandle] = {}
         self.flushes = 0
         self.items_coalesced = 0
 
@@ -215,7 +215,7 @@ class KeyedCoalescer(Generic[T]):
             if weight >= self.max_size:
                 self.flush_key(key)
                 return
-            self._timers[key] = self.sim.schedule(
+            self._timers[key] = self.clock.schedule(
                 self.max_delay, self._on_timer, key
             )
             return

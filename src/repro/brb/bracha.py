@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..crypto import costs
 from ..crypto.hashing import Digest, digest
-from ..sim.node import Node
+from ..transport.interface import Transport
 from .interface import BroadcastLayer, DeliverFn
 from .quorums import byzantine_quorum, max_faulty
 
@@ -105,7 +105,7 @@ class BrachaBroadcast(BroadcastLayer):
 
     def __init__(
         self,
-        node: Node,
+        node: Transport,
         peers: Sequence[int],
         deliver: DeliverFn,
         f: Optional[int] = None,

@@ -27,7 +27,7 @@ from ..crypto import costs
 from ..crypto.hashing import Digest, digest
 from ..crypto.keys import Keychain, KeyPair, replica_owner
 from ..crypto.signatures import Signature, sign, verify
-from ..sim.node import Node
+from ..transport.interface import Transport
 from .interface import BroadcastLayer, DeliverFn
 from .quorums import byzantine_quorum, max_faulty
 
@@ -129,7 +129,7 @@ class SignedBroadcast(BroadcastLayer):
 
     def __init__(
         self,
-        node: Node,
+        node: Transport,
         peers: Sequence[int],
         deliver: DeliverFn,
         keychain: Keychain,
@@ -178,7 +178,7 @@ class SignedBroadcast(BroadcastLayer):
             send_cost=costs.SEND_OVERHEAD,
         )
         # Hashing + signing our own ACK costs CPU even without a send.
-        self.node.cpu.occupy(
+        self.node.charge(
             costs.HASH_PER_PAYMENT * _payload_items(payload) + costs.ECDSA_SIGN
         )
         self._handle_prepare(self.node.node_id, message)

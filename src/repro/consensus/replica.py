@@ -28,9 +28,8 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 from ..brb.batching import Batch
 from ..crypto import costs
 from ..crypto.hashing import Digest
-from ..sim.events import Simulator
-from ..sim.network import Network
-from ..sim.node import Node
+from ..transport.endpoint import ProtocolEndpoint
+from ..transport.interface import Transport
 from ..core.payment import ClientId, Payment, PaymentId
 from .config import BftConfig
 from .ledger import PaymentLedger
@@ -67,19 +66,23 @@ class _Instance:
         self.decided = False
 
 
-class BftReplica(Node):
-    """One replica of the consensus-based payment system."""
+class BftReplica(ProtocolEndpoint):
+    """One replica of the consensus-based payment system.
+
+    A plain protocol object over a
+    :class:`~repro.transport.interface.Transport` — the same replica
+    runs on the simulator or over real sockets.
+    """
 
     def __init__(
         self,
-        sim: Simulator,
-        node_id: int,
-        network: Network,
+        transport: Transport,
         config: BftConfig,
         genesis: Dict[ClientId, int],
         peers: List[int],
     ) -> None:
-        super().__init__(sim, node_id, network)
+        super().__init__(transport)
+        node_id = transport.node_id
         self.config = config
         self.peers = list(peers)
         #: Peers minus ourselves, in peer order — the fan-out target list.
@@ -180,7 +183,7 @@ class BftReplica(Node):
     def submit_local(self, payment: Payment) -> None:
         """Inject a request as if multicast by a client (one replica's
         share; the system object fans out to all replicas)."""
-        self.cpu.occupy(self._request_cost)
+        self.charge(self._request_cost)
         self.receive_request(payment)
 
     def receive_request(self, payment: Payment) -> None:
@@ -190,7 +193,7 @@ class BftReplica(Node):
         pending = self._pending
         if key in pending:
             return
-        pending[key] = (payment, self.sim.now)
+        pending[key] = (payment, self.clock.now)
         if self._leader_now:
             self._request_queue.append(payment)
             self._schedule_flush()
@@ -314,7 +317,7 @@ class BftReplica(Node):
         while self._last_executed + 1 in self._decided_batches:
             self._last_executed += 1
             batch = self._decided_batches[self._last_executed]
-            self.cpu.occupy(
+            self.charge(
                 (self.config.settle_cost + self.config.reply_cost)
                 * batch.batch_items
             )
@@ -343,7 +346,7 @@ class BftReplica(Node):
         if self.in_view_change:
             # The view change itself is stuck (e.g. the new leader is also
             # faulty): escalate to the next view after another timeout.
-            if self.sim.now - self._view_entered_at > self.config.request_timeout:
+            if self.clock.now - self._view_entered_at > self.config.request_timeout:
                 self._send_stop(target)
             return
         if not self._pending:
@@ -352,7 +355,7 @@ class BftReplica(Node):
         # bulk on view entry, so the first entry always carries the
         # earliest arrival: the timeout check is O(1), not a scan.
         _, earliest = next(iter(self._pending.values()))
-        if earliest <= self.sim.now - self.config.request_timeout:
+        if earliest <= self.clock.now - self.config.request_timeout:
             self._send_stop(target)
 
     def _send_stop(self, new_view: int) -> None:
@@ -382,7 +385,7 @@ class BftReplica(Node):
         self.in_view_change = True
         self._refresh_leader_flag()
         self.view_changes += 1
-        self._view_entered_at = self.sim.now
+        self._view_entered_at = self.clock.now
         self._outstanding = 0
         self._request_queue.clear()
         # Hand our protocol state to the new leader.
@@ -480,7 +483,7 @@ class BftReplica(Node):
         self._refresh_leader_flag()
         # Restart request timers: the new leader deserves a full timeout
         # before anyone votes to depose it.
-        now = self.sim.now
+        now = self.clock.now
         self._pending = {
             key: (payment, now) for key, (payment, _) in self._pending.items()
         }

@@ -114,7 +114,7 @@ class BftSystem:
         self.genesis: Dict[ClientId, int] = dict(genesis or {})
         peers = list(range(config.num_replicas))
         self.replicas: List[BftReplica] = [
-            BftReplica(self.sim, node_id, self.network, config,
+            BftReplica(Node(self.sim, node_id, self.network), config,
                        dict(self.genesis), peers)
             for node_id in peers
         ]

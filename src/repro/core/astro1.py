@@ -13,8 +13,7 @@ from typing import Dict, List, Optional
 
 from ..brb.batching import Batch
 from ..brb.bracha import BrachaBroadcast
-from ..sim.events import Simulator
-from ..sim.network import Network
+from ..transport.interface import Transport
 from .config import AstroConfig
 from .directory import Directory
 from .payment import ClientId, Payment
@@ -29,17 +28,15 @@ class Astro1Replica(AstroReplicaBase):
 
     def __init__(
         self,
-        sim: Simulator,
-        node_id: int,
-        network: Network,
+        transport: Transport,
         config: AstroConfig,
         genesis: Dict[ClientId, int],
         directory: Directory,
         peers: List[int],
     ) -> None:
-        super().__init__(sim, node_id, network, config, genesis, directory)
+        super().__init__(transport, config, genesis, directory)
         self.brb = BrachaBroadcast(
-            self, peers, self._on_brb_deliver, f=config.f, fifo=True
+            transport, peers, self._on_brb_deliver, f=config.f, fifo=True
         )
 
     # ------------------------------------------------------------------

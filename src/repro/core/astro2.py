@@ -27,8 +27,7 @@ from ..brb.batching import Batch, KeyedCoalescer
 from ..brb.signed import SignedBroadcast
 from ..crypto import costs
 from ..crypto.keys import Keychain, KeyPair
-from ..sim.events import Simulator
-from ..sim.network import Network
+from ..transport.interface import Transport
 from .config import AstroConfig
 from .dependencies import (
     CreditBundle,
@@ -56,22 +55,21 @@ class Astro2Replica(AstroReplicaBase):
 
     def __init__(
         self,
-        sim: Simulator,
-        node_id: int,
-        network: Network,
+        transport: Transport,
         config: AstroConfig,
         genesis: Dict[ClientId, int],
         directory: Directory,
         keychain: Keychain,
         key: KeyPair,
     ) -> None:
-        super().__init__(sim, node_id, network, config, genesis, directory)
+        super().__init__(transport, config, genesis, directory)
         self.keychain = keychain
         self.key = key
+        node_id = transport.node_id
         self.shard_id = directory.shard_of_replica(node_id)
         peers = list(directory.members(self.shard_id))
         self.brb = SignedBroadcast(
-            self,
+            transport,
             peers,
             self._on_brb_deliver,
             keychain,
@@ -123,7 +121,7 @@ class Astro2Replica(AstroReplicaBase):
         self._credit_coalescer: Optional[KeyedCoalescer[CreditMessage]] = None
         if config.credit_coalesce_delay > 0:
             self._credit_coalescer = KeyedCoalescer(
-                sim,
+                transport.clock,
                 self._flush_credit_window,
                 max_size=config.batch_size,
                 max_delay=config.credit_coalesce_delay,
@@ -271,7 +269,7 @@ class Astro2Replica(AstroReplicaBase):
                         sigs = bound
                     verify_cost += costs.ECDSA_VERIFY * sigs
         if verify_cost:
-            self.cpu.occupy(verify_cost)
+            self.charge(verify_cost)
         self._deliver_batch(origin, batch)
         coalescer = self._credit_coalescer
         if coalescer is None:
@@ -408,7 +406,7 @@ class Astro2Replica(AstroReplicaBase):
         batching level (§VI-A); transport coalescing never changes how
         many sub-batches are signed, only how they ship.
         """
-        self.cpu.occupy(costs.ECDSA_SIGN)
+        self.charge(costs.ECDSA_SIGN)
         return CreditMessage.create(self.key, self.shard_id, tuple(payments))
 
     def _send_credits(

@@ -15,9 +15,8 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from ..brb.batching import Batch, Batcher
-from ..sim.network import Network
-from ..sim.node import Node
-from ..sim.events import Simulator
+from ..transport.endpoint import ProtocolEndpoint
+from ..transport.interface import Transport
 from .accounts import AccountState
 from .config import AstroConfig
 from .directory import Directory
@@ -30,8 +29,15 @@ __all__ = ["AstroReplicaBase"]
 ConfirmFn = Callable[[Payment, float], None]
 
 
-class AstroReplicaBase(Node):
-    """Shared replica behaviour; concrete variants override the hooks."""
+class AstroReplicaBase(ProtocolEndpoint):
+    """Shared replica behaviour; concrete variants override the hooks.
+
+    A replica is a plain protocol object over a
+    :class:`~repro.transport.interface.Transport`: hand it a simulator
+    :class:`~repro.sim.node.Node` and it runs in the discrete-event
+    world; hand it a :class:`~repro.transport.tcp.TcpTransport` and the
+    identical code serves real sockets.
+    """
 
     #: Set by variants whose :meth:`_approve_funds` unconditionally
     #: returns True; lets the drain loop skip the call per payment.
@@ -39,14 +45,12 @@ class AstroReplicaBase(Node):
 
     def __init__(
         self,
-        sim: Simulator,
-        node_id: int,
-        network: Network,
+        transport: Transport,
         config: AstroConfig,
         genesis: Dict[ClientId, int],
         directory: Directory,
     ) -> None:
-        super().__init__(sim, node_id, network)
+        super().__init__(transport)
         self.config = config
         self.directory = directory
         #: Cached reference to the directory's client → representative
@@ -58,7 +62,7 @@ class AstroReplicaBase(Node):
         self._confirm_cost = config.confirm_cost
         self.state = AccountState(genesis)
         self.batcher: Batcher[Payment] = Batcher(
-            sim,
+            transport.clock,
             self._flush_batch,
             max_size=config.batch_size,
             max_delay=config.batch_delay,
@@ -95,7 +99,7 @@ class AstroReplicaBase(Node):
         Used by load generators; charges the same ingestion CPU a real
         client request would.
         """
-        self.cpu.occupy(self._ingest_cost)
+        self.charge(self._ingest_cost)
         self.ingest(payment)
 
     def ingest(self, payment: Payment) -> None:
@@ -164,7 +168,7 @@ class AstroReplicaBase(Node):
         """Process a BRB-delivered batch of payments."""
         if not self.alive:
             return
-        self.cpu.occupy(self._settle_cost * batch.batch_items)
+        self.charge(self._settle_cost * batch.batch_items)
         # Local bindings: this loop runs once per payment per replica and
         # dominates the settle path at high offered rates.
         rep_get = self._rep_map.get
@@ -242,8 +246,8 @@ class AstroReplicaBase(Node):
     # ------------------------------------------------------------------
     def _confirm(self, payment: Payment) -> None:
         """Notify the spender that her payment settled (we are her rep)."""
-        self.cpu.occupy(self._confirm_cost)
-        now = self.sim.now
+        self.charge(self._confirm_cost)
+        now = self.clock.now
         for hook in self.confirm_hooks:
             hook(payment, now)
         client_node = self.client_nodes.get(payment.spender)

@@ -20,6 +20,7 @@ from ..sim.events import Simulator
 from ..sim.faults import FaultInjector
 from ..sim.latency import LatencyModel, europe_wan
 from ..sim.network import Network
+from ..sim.node import Node
 from .astro1 import Astro1Replica
 from .astro2 import Astro2Replica
 from .client import ClientNode, ConfirmCallback
@@ -229,11 +230,13 @@ class Astro1System(_AstroSystemBase):
                 representative = members[position % len(members)]
             self.directory.register_client(client, representative)
         for node_id in members:
+            # The simulator Node is the replica's transport backend; the
+            # replica itself is a plain protocol object (the same object
+            # runs over repro.transport.tcp in a live cluster).
+            transport = Node(self.sim, node_id, self.network)
             self._register(
                 Astro1Replica(
-                    self.sim,
-                    node_id,
-                    self.network,
+                    transport,
                     config,
                     dict(self.genesis),
                     self.directory,
@@ -308,11 +311,10 @@ class Astro2System(_AstroSystemBase):
             }
             for node_id in self.directory.members(shard):
                 key = self.keychain.generate(replica_owner(node_id))
+                transport = Node(self.sim, node_id, self.network)
                 self._register(
                     Astro2Replica(
-                        self.sim,
-                        node_id,
-                        self.network,
+                        transport,
                         config,
                         dict(shard_genesis),
                         self.directory,

@@ -139,6 +139,26 @@ class Network:
     def is_crashed(self, node_id: int) -> bool:
         return node_id in self._crashed
 
+    def crashed_view(self) -> Set[int]:
+        """Live view of the crashed-node set (public liveness accessor).
+
+        The set object is mutated in place by :meth:`crash` /
+        :meth:`recover` and never replaced, so holders may cache the
+        returned reference and test membership directly — this is what
+        makes :attr:`repro.sim.node.Node.alive` a single set containment
+        test on hot paths.  Callers must treat it as read-only.
+        """
+        return self._crashed
+
+    def executes(self, node_id: int) -> bool:
+        """Whether this process executes ``node_id``'s events.
+
+        Always true in an unsharded simulation; under intra-simulation
+        sharding (:meth:`configure_sharding`) each worker holds the full
+        node set but executes only its owned subset.
+        """
+        return self._shard_owned is None or node_id in self._shard_owned
+
     def set_egress_delay(self, node_id: int, extra: float) -> None:
         """Add ``extra`` seconds to every message leaving ``node_id``.
 

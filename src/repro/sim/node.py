@@ -4,6 +4,13 @@ A :class:`Node` owns a CPU server and an outgoing link server, registers
 with a :class:`~repro.sim.network.Network`, and dispatches incoming
 payloads to handlers registered per message class.  Protocol code never
 touches the event queue directly; it sends messages and sets timers.
+
+``Node`` is the simulator backend of the
+:class:`repro.transport.interface.Transport` contract: the same replica
+objects that run here also run over real asyncio TCP sockets
+(:class:`repro.transport.tcp.TcpTransport`).  The ``clock`` attribute is
+the simulator itself, which satisfies
+:class:`repro.transport.interface.Clock` structurally.
 """
 
 from __future__ import annotations
@@ -36,15 +43,22 @@ class Node:
         bandwidth: float = DEFAULT_BANDWIDTH,
     ) -> None:
         self.sim = sim
+        #: Transport-contract clock: the simulator satisfies
+        #: :class:`repro.transport.interface.Clock` directly.
+        self.clock = sim
         self.node_id = node_id
         self.network = network
         self.cpu = CpuServer(sim, name=f"cpu[{node_id}]", cores=cores)
         self.link = LinkServer(sim, name=f"nic[{node_id}]", bandwidth=bandwidth)
+        #: Modelled local CPU (Transport contract ``charge``); bound once
+        #: since no tap ever intercepts it, unlike ``send``/``broadcast``.
+        self.charge = self.cpu.occupy
         self._handlers: Dict[Type[Any], Callable[[int, Any], None]] = {}
-        # The network's crashed-node set is mutated in place, never
-        # replaced, so caching the reference makes ``alive`` a single set
-        # containment test (it is consulted per payment on hot paths).
-        self._crashed_ref = network._crashed
+        # The crashed-node set behind ``crashed_view`` is mutated in
+        # place, never replaced, so caching the reference makes ``alive``
+        # a single set containment test (consulted per payment on hot
+        # paths).
+        self._crashed_ref = network.crashed_view()
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -159,6 +173,15 @@ class Node:
     @property
     def alive(self) -> bool:
         return self.node_id not in self._crashed_ref
+
+    def owns(self, node_id: int) -> bool:
+        """Whether this process executes ``node_id``'s events.
+
+        Delegates to :meth:`repro.sim.network.Network.executes`: true in
+        an unsharded simulation, restricted to the worker's owned subset
+        under intra-simulation sharding.
+        """
+        return self.network.executes(node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} id={self.node_id}>"

@@ -1,0 +1,82 @@
+"""Wall-clock :class:`~repro.transport.interface.Clock` over asyncio.
+
+Mirrors the :class:`~repro.sim.events.Simulator` scheduling surface
+(``now`` / ``schedule`` / ``schedule_at`` / ``call_after`` / ``call_at``)
+on a real event loop, so :class:`~repro.brb.batching.Batcher` timers and
+replica timeouts run unmodified against wall time.  ``now`` is the
+loop's monotonic time — like simulated time, its epoch is arbitrary but
+differences are seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Optional
+
+__all__ = ["RealTimeClock"]
+
+
+class _LoopTimer:
+    """Cancellable handle matching :class:`repro.sim.events.Event`'s shape."""
+
+    __slots__ = ("_handle", "cancelled")
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._handle.cancel()
+
+
+class RealTimeClock:
+    """Schedules callbacks on an asyncio loop; ``now`` is loop time."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        # Bind lazily: a transport is often constructed synchronously
+        # (before asyncio.run), so the loop is resolved on first use
+        # inside the running loop rather than at construction time.
+        self._loop = loop
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        # The default asyncio clock is time.monotonic, so reading the
+        # time before a loop is bound (e.g. during synchronous
+        # construction) can fall back to it consistently.
+        if self._loop is None:
+            try:
+                self._loop = asyncio.get_running_loop()
+            except RuntimeError:
+                return time.monotonic()
+        return self._loop.time()
+
+    # ------------------------------------------------------------------
+    # Scheduling (Simulator-shaped)
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> _LoopTimer:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return _LoopTimer(self.loop.call_later(delay, fn, *args))
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any
+    ) -> _LoopTimer:
+        return _LoopTimer(self.loop.call_at(time, fn, *args))
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        self.schedule(delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        self.loop.call_at(time, fn, *args)

@@ -1,0 +1,477 @@
+"""Localhost live cluster: one OS process per replica, real TCP sockets.
+
+``python -m repro.transport.cluster --n 4 --system astro2`` boots an
+N-replica deployment in which every replica is the *same protocol
+object* the simulator runs (:class:`~repro.core.astro2.Astro2Replica` /
+:class:`~repro.core.astro1.Astro1Replica`), bound to a
+:class:`~repro.transport.tcp.TcpTransport` instead of a simulator
+:class:`~repro.sim.node.Node`.  The parent process runs an open-loop
+load generator (a paced client population, like
+:class:`repro.workloads.drivers.OpenLoopDriver` but against wall time),
+measures settled wall-clock throughput over a steady-state window, and
+writes the result to ``BENCH_live.json``.
+
+Determinism note: the simulated crypto derives digests and signature
+tokens from Python's ``hash``, which is per-interpreter randomized.
+All replica processes must therefore share one hash seed.  With the
+``fork`` start method (Linux) children inherit the parent's seed; with
+``spawn`` this module pins ``PYTHONHASHSEED`` in the children's
+environment before launching them.  The parent itself never computes a
+protocol digest, so its own seed is irrelevant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .clock import RealTimeClock
+from .tcp import TcpTransport
+
+__all__ = [
+    "build_replica",
+    "default_genesis",
+    "run_cluster",
+    "StatsRequest",
+    "StatsReply",
+    "Shutdown",
+]
+
+#: Default shared cluster secret for localhost runs (override with
+#: ``--secret`` for anything that leaves the loopback interface).
+DEFAULT_SECRET = b"astro-localhost-cluster"
+
+#: Clients per replica in the default genesis, matching the bench lane.
+CLIENTS_PER_REPLICA = 4
+
+#: Genesis balance per client: effectively unlimited for short runs.
+GENESIS_BALANCE = 1_000_000_000
+
+
+# ---------------------------------------------------------------------------
+# Control-plane messages (loadgen <-> replicas)
+# ---------------------------------------------------------------------------
+class StatsRequest:
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+
+
+class StatsReply:
+    __slots__ = ("node_id", "tag", "settled", "rejected")
+
+    def __init__(self, node_id: int, tag: int, settled: int, rejected: int) -> None:
+        self.node_id = node_id
+        self.tag = tag
+        self.settled = settled
+        self.rejected = rejected
+
+
+class Shutdown:
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic assembly (mirrors Astro1System / Astro2System exactly)
+# ---------------------------------------------------------------------------
+def default_genesis(n: int) -> Dict[str, int]:
+    """The cluster's client population: ``4·n`` richly funded clients."""
+    return {
+        f"c{i:04d}": GENESIS_BALANCE for i in range(CLIENTS_PER_REPLICA * n)
+    }
+
+
+def _build_directory(n: int, clients: List[str]):
+    """One shard of ``n`` replicas; clients round-robin by sorted order.
+
+    Replicates the single-shard assignment rule of
+    :class:`~repro.core.system.Astro2System` (which, with one shard,
+    coincides with :class:`~repro.core.system.Astro1System`'s), so every
+    process — replicas and load generator alike — derives the same
+    client → representative map independently.
+    """
+    from ..core.directory import Directory
+
+    directory = Directory()
+    members = tuple(range(n))
+    directory.register_shard(0, members)
+    for position, client in enumerate(sorted(clients, key=repr)):
+        directory.register_client(client, members[position % n])
+    return directory
+
+
+def build_replica(
+    system: str,
+    n: int,
+    transport: Any,
+    genesis: Dict[str, int],
+    seed: int = 0,
+    loadgen_node: Optional[int] = None,
+):
+    """Construct one live replica over ``transport``.
+
+    Pure function of ``(system, n, genesis, seed, node_id)`` so each OS
+    process assembles a replica consistent with every other process —
+    the same trick :mod:`repro.sim.shard` uses to replicate builds
+    across shard workers.  ``loadgen_node`` registers every represented
+    client as living at that node id, so settlement confirmations flow
+    back to the load generator.
+    """
+    from ..core.astro1 import Astro1Replica
+    from ..core.astro2 import Astro2Replica
+    from ..core.config import AstroConfig
+    from ..crypto.keys import Keychain, replica_owner
+
+    config = AstroConfig(num_replicas=n)
+    directory = _build_directory(n, list(genesis))
+    node_id = transport.node_id
+    if system == "astro1":
+        replica = Astro1Replica(
+            transport, config, dict(genesis), directory, list(range(n))
+        )
+    elif system == "astro2":
+        # Every process generates all replica keys in node-id order (the
+        # keychain is RNG-sequential), keeping its own — identical key
+        # material everywhere, like Astro2System's construction loop.
+        keychain = Keychain(seed=seed + 17)
+        key = None
+        for member in range(n):
+            generated = keychain.generate(replica_owner(member))
+            if member == node_id:
+                key = generated
+        replica = Astro2Replica(
+            transport, config, dict(genesis), directory, keychain, key
+        )
+    else:
+        raise ValueError(f"unknown system {system!r} (astro1|astro2)")
+    if loadgen_node is not None:
+        for client, rep in directory.rep_map.items():
+            if rep == node_id:
+                replica.client_nodes[client] = loadgen_node
+    return replica
+
+
+# ---------------------------------------------------------------------------
+# Replica child process
+# ---------------------------------------------------------------------------
+def _replica_main(
+    system: str, n: int, node_id: int, conn, secret: bytes, seed: int
+) -> None:
+    asyncio.run(_replica_async(system, n, node_id, conn, secret, seed))
+
+
+async def _replica_async(
+    system: str, n: int, node_id: int, conn, secret: bytes, seed: int
+) -> None:
+    loop = asyncio.get_running_loop()
+    transport = TcpTransport(node_id, secret, clock=RealTimeClock(loop))
+    await transport.start()
+    replica = build_replica(
+        system, n, transport, default_genesis(n), seed=seed, loadgen_node=n
+    )
+    stop = asyncio.Event()
+    transport.on(Shutdown, lambda src, msg: stop.set())
+
+    def _on_stats(src: int, message: StatsRequest) -> None:
+        transport.send(
+            src,
+            StatsReply(
+                node_id,
+                message.tag,
+                replica.settled_count,
+                len(replica.rejected),
+            ),
+        )
+
+    transport.on(StatsRequest, _on_stats)
+    conn.send(("port", node_id, transport.port))
+    peers = await loop.run_in_executor(None, conn.recv)
+    transport.connect(peers)
+    conn.send(("ready", node_id))
+    await stop.wait()
+    await transport.close()
+
+
+# ---------------------------------------------------------------------------
+# Load generator (parent process)
+# ---------------------------------------------------------------------------
+class _LoadGen:
+    """Open-loop client population over one TcpTransport."""
+
+    #: Pacing tick for the open-loop schedule.
+    TICK = 0.01
+
+    def __init__(
+        self,
+        transport: TcpTransport,
+        system: str,
+        n: int,
+        genesis: Dict[str, int],
+    ) -> None:
+        from ..core.messages import ClientConfirm
+
+        self.transport = transport
+        self.n = n
+        self.clients = sorted(genesis, key=repr)
+        self.rep_map = _build_directory(n, list(genesis)).rep_map
+        self._next_seq: Dict[str, int] = {}
+        self._sent_at: Dict[tuple, float] = {}
+        self.submitted = 0
+        self.confirmed = 0
+        self.latencies: List[float] = []
+        self._stats_waiters: Dict[int, Tuple[asyncio.Event, Dict[int, StatsReply]]] = {}
+        self._stats_tag = 0
+        transport.on(ClientConfirm, self._on_confirm)
+        transport.on(StatsReply, self._on_stats_reply)
+
+    def _on_confirm(self, src: int, message) -> None:
+        self.confirmed += 1
+        sent = self._sent_at.pop(message.payment.identifier, None)
+        if sent is not None:
+            self.latencies.append(self.transport.clock.now - sent)
+
+    def _on_stats_reply(self, src: int, message: StatsReply) -> None:
+        waiter = self._stats_waiters.get(message.tag)
+        if waiter is None:
+            return
+        event, replies = waiter
+        replies[message.node_id] = message
+        if len(replies) == self.n:
+            event.set()
+
+    async def collect_stats(self, timeout: float = 5.0) -> Dict[int, StatsReply]:
+        """Snapshot every replica's settled counter (waits for all N)."""
+        from ..core.messages import ClientSubmit  # noqa: F401  (keep import local)
+
+        self._stats_tag += 1
+        tag = self._stats_tag
+        event = asyncio.Event()
+        replies: Dict[int, StatsReply] = {}
+        self._stats_waiters[tag] = (event, replies)
+        for node_id in range(self.n):
+            self.transport.send(node_id, StatsRequest(tag))
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        self._stats_waiters.pop(tag, None)
+        return replies
+
+    async def run(self, rate: float, duration: float) -> None:
+        """Submit ``rate`` payments/s for ``duration`` seconds."""
+        from ..core.messages import ClientSubmit
+        from ..core.payment import Payment
+
+        clients = self.clients
+        num = len(clients)
+        rep_map = self.rep_map
+        clock = self.transport.clock
+        deadline = clock.now + duration
+        carry = 0.0
+        index = 0
+        while clock.now < deadline:
+            carry += rate * self.TICK
+            burst = int(carry)
+            carry -= burst
+            for _ in range(burst):
+                spender = clients[index % num]
+                beneficiary = clients[(index + 1) % num]
+                index += 1
+                seq = self._next_seq.get(spender, 0) + 1
+                self._next_seq[spender] = seq
+                payment = Payment(spender, seq, beneficiary, 1)
+                self._sent_at[payment.identifier] = clock.now
+                self.transport.send(
+                    rep_map[spender], ClientSubmit(payment)
+                )
+                self.submitted += 1
+            await asyncio.sleep(self.TICK)
+
+
+def _percentile(values: List[float], fraction: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+async def _orchestrate(
+    args, procs: List, conns: List, secret: bytes
+) -> Dict[str, Any]:
+    loop = asyncio.get_running_loop()
+    transport = TcpTransport(args.n, secret, clock=RealTimeClock(loop))
+    await transport.start()
+    genesis = default_genesis(args.n)
+    loadgen = _LoadGen(transport, args.system, args.n, genesis)
+
+    ports: Dict[int, int] = {}
+    for conn in conns:
+        kind, node_id, port = await loop.run_in_executor(None, conn.recv)
+        assert kind == "port"
+        ports[node_id] = port
+    peer_map = {
+        node_id: ("127.0.0.1", port) for node_id, port in ports.items()
+    }
+    peer_map[args.n] = ("127.0.0.1", transport.port)
+    for conn in conns:
+        conn.send(peer_map)
+    for conn in conns:
+        kind, _node_id = await loop.run_in_executor(None, conn.recv)
+        assert kind == "ready"
+    transport.connect(peer_map)
+
+    print(
+        f"[cluster] {args.system} n={args.n}: replicas on ports "
+        f"{[ports[i] for i in sorted(ports)]}, loadgen on {transport.port}"
+    )
+
+    wall_start = time.monotonic()
+    # Warmup: bring connections up and fill the batching pipeline.
+    await loadgen.run(args.rate, args.warmup)
+    before = await loadgen.collect_stats()
+    measure_start = transport.clock.now
+    await loadgen.run(args.rate, args.duration)
+    measure_elapsed = transport.clock.now - measure_start
+    after = await loadgen.collect_stats()
+    # Grace: let in-flight batches/credits settle before the final count.
+    await asyncio.sleep(args.grace)
+    final = await loadgen.collect_stats()
+
+    for node_id in range(args.n):
+        transport.send(node_id, Shutdown())
+    await asyncio.sleep(0.2)
+    await transport.close()
+    for proc in procs:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+
+    deltas = {
+        node_id: after[node_id].settled - before[node_id].settled
+        for node_id in after
+        if node_id in before
+    }
+    # A payment counts as live throughput once settled at *every*
+    # replica (the conservative reading; per-replica deltas are reported
+    # alongside).
+    measured_pps = (
+        min(deltas.values()) / measure_elapsed if deltas else 0.0
+    )
+    return {
+        "system": args.system,
+        "n": args.n,
+        "transport": "tcp-localhost",
+        "offered_pps": args.rate,
+        "warmup_s": args.warmup,
+        "duration_s": args.duration,
+        "measured_pps": round(measured_pps, 1),
+        "measure_elapsed_s": round(measure_elapsed, 3),
+        "submitted": loadgen.submitted,
+        "confirmed": loadgen.confirmed,
+        "settled_delta_by_replica": {
+            str(k): v for k, v in sorted(deltas.items())
+        },
+        "settled_final_by_replica": {
+            str(k): final[k].settled for k in sorted(final)
+        },
+        "rejected_final": {
+            str(k): final[k].rejected for k in sorted(final)
+        },
+        "confirm_latency_ms": {
+            "p50": _ms(_percentile(loadgen.latencies, 0.50)),
+            "p95": _ms(_percentile(loadgen.latencies, 0.95)),
+        },
+        "loadgen_frames_sent": transport.stats.frames_sent,
+        "loadgen_frames_received": transport.stats.frames_received,
+        "wall_elapsed_s": round(time.monotonic() - wall_start, 3),
+    }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e3, 2)
+
+
+def run_cluster(args) -> Dict[str, Any]:
+    """Spawn the replica processes, drive load, return the report."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover - non-fork platforms
+        # Children must share a hash seed (module docstring); the parent
+        # re-execs them, so pin the seed through the environment.
+        os.environ.setdefault("PYTHONHASHSEED", "0")
+        ctx = multiprocessing.get_context("spawn")
+    secret = args.secret.encode() if isinstance(args.secret, str) else args.secret
+    procs = []
+    conns = []
+    for node_id in range(args.n):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_replica_main,
+            args=(args.system, args.n, node_id, child_conn, secret, args.seed),
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+        conns.append(parent_conn)
+    try:
+        return asyncio.run(_orchestrate(args, procs, conns, secret))
+    finally:
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.transport.cluster",
+        description="Run an Astro replica cluster on localhost TCP.",
+    )
+    parser.add_argument("--n", type=int, default=4, help="replica count")
+    parser.add_argument(
+        "--system", choices=("astro1", "astro2"), default="astro2"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=1000.0, help="offered payments/s"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=2.0, help="warmup seconds"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="measurement seconds"
+    )
+    parser.add_argument(
+        "--grace", type=float, default=1.5,
+        help="post-load drain before the final settled count",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="keychain seed")
+    parser.add_argument(
+        "--secret", default=DEFAULT_SECRET.decode(),
+        help="shared cluster secret for the transport handshake",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_live.json", help="report output path"
+    )
+    args = parser.parse_args(argv)
+    report = run_cluster(args)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[cluster] wrote {args.out}")
+    print(json.dumps(report, indent=2))
+    return 0 if report["measured_pps"] > 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI live-smoke
+    raise SystemExit(main())

@@ -1,0 +1,419 @@
+"""Asyncio TCP backend for the :class:`~repro.transport.interface.Transport`
+contract.
+
+One OS process per node.  Design (exemplar: the lightning bolts
+08-transport framing/handshake design referenced from ROADMAP):
+
+* **Length-framed pickle streams** (:mod:`repro.transport.framing`) —
+  the same compact ``__reduce__`` wire classes the sharded simulator
+  ships cross-process.
+* **HMAC-authenticated handshake** — a shared cluster secret and an
+  HMAC-SHA256 challenge-response in both directions before any frame is
+  accepted, realizing the authenticated point-to-point links the paper
+  assumes (§III).  A peer that fails the handshake is disconnected
+  before a single payload byte is parsed.
+* **One connection per direction** — a node dials every peer for its
+  own outbound traffic and accepts inbound connections for theirs, so
+  stream ownership is unambiguous and reconnects never race.
+* **Per-peer outbound queues with reconnect/backoff** — ``send`` is
+  fire-and-forget: it enqueues a frame and returns.  A per-peer sender
+  task drains the queue; on connection failure it retries with
+  exponential backoff, and frames in flight during a drop are lost —
+  exactly the asynchronous-network semantics the protocols are built
+  for (the simulator drops sends to crashed nodes the same way).
+
+Everything runs on one asyncio loop per process; protocol handlers are
+synchronous callbacks invoked from receiver tasks, so replica code needs
+no locking — the same single-threaded execution model as the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import hmac
+import os
+import struct
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple, Type
+
+from .clock import RealTimeClock
+from .framing import MAX_FRAME_BYTES, FrameDecoder, FrameError, encode_frame
+
+__all__ = ["TcpTransport", "HandshakeError", "TransportStats"]
+
+#: Protocol magic: rejects accidental cross-protocol connections early.
+_MAGIC = b"AST1"
+_NONCE_BYTES = 16
+_TAG_BYTES = hashlib.sha256().digest_size
+_ID = struct.Struct(">I")
+
+#: Reconnect backoff: first retry after INITIAL, doubling to CAP.
+RECONNECT_INITIAL = 0.05
+RECONNECT_CAP = 2.0
+
+#: Receiver read chunk.
+_READ_CHUNK = 1 << 16
+
+
+class HandshakeError(ConnectionError):
+    """Peer failed mutual authentication (wrong secret, bad magic, ...)."""
+
+
+def _tag(secret: bytes, role: bytes, nonce: bytes, node_id: int) -> bytes:
+    return hmac.new(
+        secret, role + nonce + _ID.pack(node_id), hashlib.sha256
+    ).digest()
+
+
+class TransportStats:
+    """Counters for tests and the cluster runner's report."""
+
+    def __init__(self) -> None:
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+        self.connects = 0
+        self.reconnects = 0
+        self.connect_failures = 0
+        self.stream_errors = 0
+        self.handshake_failures = 0
+        self.handler_errors = 0
+
+
+class TcpTransport:
+    """Real-socket transport for one node (see module docstring)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        secret: bytes,
+        clock: Optional[RealTimeClock] = None,
+        host: str = "127.0.0.1",
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.node_id = node_id
+        self.secret = secret
+        self.clock = clock if clock is not None else RealTimeClock()
+        self.host = host
+        self.port: Optional[int] = None
+        self.max_frame = max_frame
+        self.stats = TransportStats()
+        self._handlers: Dict[Type[Any], Callable[[int, Any], None]] = {}
+        self._peers: Dict[int, Tuple[str, int]] = {}
+        self._queues: Dict[int, asyncio.Queue] = {}
+        self._sender_tasks: Dict[int, asyncio.Task] = {}
+        self._receiver_tasks: set = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, port: int = 0) -> int:
+        """Bind the acceptor; returns the actual listening port."""
+        self._server = await asyncio.start_server(
+            self._accept, host=self.host, port=port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    def connect(self, peers: Dict[int, Tuple[str, int]]) -> None:
+        """Learn peer addresses and start one sender task per peer.
+
+        May be called again to add peers; existing peers are untouched.
+        """
+        loop = self.clock.loop
+        for dst, address in peers.items():
+            if dst == self.node_id or dst in self._queues:
+                self._peers.setdefault(dst, address)
+                continue
+            self._peers[dst] = address
+            self._queues[dst] = asyncio.Queue()
+            self._sender_tasks[dst] = loop.create_task(self._sender(dst))
+
+    async def close(self) -> None:
+        """Stop accepting, drop every connection, cancel all tasks."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._sender_tasks.values()):
+            task.cancel()
+        for task in list(self._receiver_tasks):
+            task.cancel()
+        pending = [
+            *self._sender_tasks.values(),
+            *self._receiver_tasks,
+        ]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._sender_tasks.clear()
+        self._receiver_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Transport contract
+    # ------------------------------------------------------------------
+    def on(
+        self, message_type: Type[Any], handler: Callable[[int, Any], None]
+    ) -> None:
+        self._handlers[message_type] = handler
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+    ) -> None:
+        """Fire-and-forget: frame now, ship from the sender task.
+
+        The modelled ``size``/``recv_cost``/``send_cost`` are ignored —
+        real bytes and cycles are spent for real.
+        """
+        if self._closed:
+            return
+        if dst == self.node_id:
+            # Loopback stays asynchronous (like the simulator's loopback
+            # path): the handler runs on a fresh loop iteration, never
+            # reentrantly inside the caller.
+            self.clock.loop.call_soon(self._dispatch, dst, payload)
+            return
+        queue = self._queues.get(dst)
+        if queue is None:
+            # Unknown destination: silently dropped, the asynchronous
+            # network has no failure notifications.
+            self.stats.frames_dropped += 1
+            return
+        try:
+            frame = encode_frame(payload, self.max_frame)
+        except FrameError:
+            self.stats.frames_dropped += 1
+            return
+        queue.put_nowait(frame)
+
+    def send_all(
+        self,
+        targets: Iterable[int],
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+        include_self: bool = True,
+    ) -> None:
+        for dst in targets:
+            if not include_self and dst == self.node_id:
+                continue
+            self.send(dst, payload, size=size, recv_cost=recv_cost)
+
+    def broadcast(
+        self,
+        targets: Sequence[int],
+        payload: Any,
+        size: int = 256,
+        recv_cost: Optional[float] = None,
+        send_cost: float = 0.0,
+    ) -> None:
+        # Class-level send on purpose: like Node.broadcast (which goes
+        # straight to Network.broadcast), a raw broadcast must not
+        # re-enter an installed egress tap via the shadowed self.send.
+        for dst in targets:
+            TcpTransport.send(self, dst, payload, size=size, recv_cost=recv_cost)
+
+    def charge(self, cost: float) -> None:
+        """Modelled CPU is a no-op here: the work burned real cycles."""
+
+    def set_timer(self, delay: float, fn: Callable[..., Any], *args: Any):
+        return self.clock.schedule(delay, self._fire_timer, fn, args)
+
+    def _fire_timer(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.alive:
+            fn(*args)
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed
+
+    def owns(self, node_id: int) -> bool:
+        """A real transport executes exactly its own node."""
+        return node_id == self.node_id
+
+    # ------------------------------------------------------------------
+    # Egress taps (same shadowing contract as the simulator Node)
+    # ------------------------------------------------------------------
+    def install_egress_tap(self, tap: Any) -> None:
+        tap.bind(
+            TcpTransport.send.__get__(self),
+            TcpTransport.broadcast.__get__(self),
+        )
+        self.send = tap.send            # type: ignore[method-assign]
+        self.broadcast = tap.broadcast  # type: ignore[method-assign]
+
+    def remove_egress_tap(self) -> None:
+        self.__dict__.pop("send", None)
+        self.__dict__.pop("broadcast", None)
+
+    # ------------------------------------------------------------------
+    # Outbound: per-peer sender with reconnect/backoff
+    # ------------------------------------------------------------------
+    async def _dial(self, dst: int) -> asyncio.StreamWriter:
+        host, port = self._peers[dst]
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            nonce_d = os.urandom(_NONCE_BYTES)
+            writer.write(_MAGIC + _ID.pack(self.node_id) + nonce_d)
+            await writer.drain()
+            reply = await reader.readexactly(
+                len(_MAGIC) + _ID.size + _NONCE_BYTES + _TAG_BYTES
+            )
+            if reply[: len(_MAGIC)] != _MAGIC:
+                raise HandshakeError(f"peer {dst}: bad magic")
+            offset = len(_MAGIC)
+            (acceptor_id,) = _ID.unpack_from(reply, offset)
+            offset += _ID.size
+            nonce_a = reply[offset : offset + _NONCE_BYTES]
+            tag_a = reply[offset + _NONCE_BYTES :]
+            expected = _tag(self.secret, b"accept", nonce_d, acceptor_id)
+            if acceptor_id != dst or not hmac.compare_digest(tag_a, expected):
+                raise HandshakeError(f"peer {dst}: acceptor failed auth")
+            writer.write(_tag(self.secret, b"dial", nonce_a, self.node_id))
+            await writer.drain()
+        except BaseException:
+            writer.close()
+            raise
+        return writer
+
+    async def _sender(self, dst: int) -> None:
+        queue = self._queues[dst]
+        backoff = RECONNECT_INITIAL
+        writer: Optional[asyncio.StreamWriter] = None
+        connected_once = False
+        try:
+            while not self._closed:
+                if writer is None:
+                    try:
+                        writer = await self._dial(dst)
+                    except (OSError, asyncio.IncompleteReadError) as exc:
+                        if isinstance(exc, HandshakeError):
+                            self.stats.handshake_failures += 1
+                        self.stats.connect_failures += 1
+                        await asyncio.sleep(backoff)
+                        backoff = min(backoff * 2, RECONNECT_CAP)
+                        continue
+                    self.stats.connects += 1
+                    if connected_once:
+                        self.stats.reconnects += 1
+                    connected_once = True
+                    backoff = RECONNECT_INITIAL
+                frame = await queue.get()
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                except (OSError, ConnectionError):
+                    # The frame is lost — asynchronous-network semantics;
+                    # the protocols tolerate message loss to faulty peers
+                    # and the next frame triggers a reconnect.
+                    self.stats.stream_errors += 1
+                    writer.close()
+                    writer = None
+                    continue
+                self.stats.frames_sent += 1
+                self.stats.bytes_sent += len(frame)
+        finally:
+            if writer is not None:
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # Inbound: acceptor, handshake, frame pump
+    # ------------------------------------------------------------------
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._receiver_tasks.add(task)
+            task.add_done_callback(self._receiver_tasks.discard)
+        try:
+            src = await self._accept_handshake(reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown mid-handshake: exit cleanly (asyncio.streams
+            # inspects the client task with ``task.exception()``, which
+            # would re-raise an escaping cancellation into the loop's
+            # exception handler).
+            writer.close()
+            return
+        except (
+            HandshakeError,
+            OSError,
+            asyncio.IncompleteReadError,
+        ):
+            self.stats.handshake_failures += 1
+            writer.close()
+            return
+        decoder = FrameDecoder(self.max_frame)
+        try:
+            while not self._closed:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for payload in decoder.feed(data):
+                    self._dispatch(src, payload)
+        except FrameError:
+            # Oversized/corrupt frame: the stream cannot resynchronize,
+            # drop the connection (the peer's sender will redial).
+            self.stats.stream_errors += 1
+        except (OSError, ConnectionError):
+            self.stats.stream_errors += 1
+        except asyncio.CancelledError:
+            pass  # close() cancelled us; same rationale as above
+        finally:
+            writer.close()
+
+    async def _accept_handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> int:
+        hello = await reader.readexactly(
+            len(_MAGIC) + _ID.size + _NONCE_BYTES
+        )
+        if hello[: len(_MAGIC)] != _MAGIC:
+            raise HandshakeError("bad magic")
+        (dialer_id,) = _ID.unpack_from(hello, len(_MAGIC))
+        nonce_d = hello[len(_MAGIC) + _ID.size :]
+        nonce_a = os.urandom(_NONCE_BYTES)
+        writer.write(
+            _MAGIC
+            + _ID.pack(self.node_id)
+            + nonce_a
+            + _tag(self.secret, b"accept", nonce_d, self.node_id)
+        )
+        await writer.drain()
+        tag_d = await reader.readexactly(_TAG_BYTES)
+        expected = _tag(self.secret, b"dial", nonce_a, dialer_id)
+        if not hmac.compare_digest(tag_d, expected):
+            raise HandshakeError(f"dialer {dialer_id} failed auth")
+        return dialer_id
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, src: int, payload: Any) -> None:
+        if self._closed:
+            return
+        self.stats.frames_received += 1
+        handler = self._handlers.get(payload.__class__)
+        if handler is None:
+            return  # unregistered type: ignored, like Node.handle_unknown
+        try:
+            handler(src, payload)
+        except Exception:
+            # A handler bug must not kill the receiver task (and with it
+            # every future frame on the stream); count it and continue.
+            self.stats.handler_errors += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpTransport id={self.node_id} {self.host}:{self.port} "
+            f"peers={sorted(self._peers)}>"
+        )
