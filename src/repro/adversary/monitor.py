@@ -60,11 +60,20 @@ class InvariantMonitor:
         byzantine_ids: Sequence[int] = (),
         start: Optional[float] = None,
         until: Optional[float] = None,
+        autostart: bool = True,
+        dep_grace: int = 0,
     ) -> None:
         self.system = system
         self.interval = float(interval)
         self.byzantine = frozenset(byzantine_ids)
         self.until = until
+        #: Samples an unknown dependency may stay unresolved before it is
+        #: recorded.  0 (simulator: all replicas sampled at one instant)
+        #: records immediately.  Live feeds capture replicas milliseconds
+        #: apart, so a dependency materialized mid-round can precede its
+        #: crediting payment's appearance in a settler's view by one
+        #: sample — ``dep_grace=1`` absorbs exactly that skew.
+        self.dep_grace = int(dep_grace)
         self.samples = 0
         self.violations: List[Dict[str, Any]] = []
         self.replicas = [
@@ -91,9 +100,15 @@ class InvariantMonitor:
         #: amount).  Grows across replicas *and* samples, so a conflicting
         #: late settle is caught against history.
         self._payment_index: Dict[Any, Tuple[Any, int]] = {}
+        #: (replica, dep_id) -> sample number first seen unresolved.
+        self._dep_pending: Dict[Tuple[int, str], int] = {}
         self._stopped = False
-        first = (start if start is not None else system.sim.now) + self.interval
-        system.sim.schedule_at(first, self._tick)
+        if autostart:
+            first = (start if start is not None else system.sim.now) + self.interval
+            system.sim.schedule_at(first, self._tick)
+        # With ``autostart=False`` the owner drives :meth:`sample`
+        # explicitly (live-cluster feeds have no simulator to tick on;
+        # they pass wall-clock ``now`` instead).
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -112,9 +127,10 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
-    def sample(self) -> None:
+    def sample(self, now: Optional[float] = None) -> None:
         """Check all five invariants against current replica state."""
-        now = self.system.sim.now
+        if now is None:
+            now = self.system.sim.now
         self.samples += 1
         for idx, replica in enumerate(self.replicas):
             self._check_balances(now, replica)
@@ -216,17 +232,27 @@ class InvariantMonitor:
                 for payment in log.entries():
                     spent += payment.amount
             credited = 0
+            unresolved = 0
             for dep_id in used_deps.get(client, ()):
                 effect = index.get(dep_id)
                 if effect is None:
-                    # No correct replica can vouch for this dependency —
-                    # a fabricated certificate was materialized.
-                    self._record(
-                        now, "conservation", replica=replica.node_id,
-                        client=repr(client), unknown_dep=repr(dep_id),
-                    )
+                    # No correct replica can (yet) vouch for this
+                    # dependency.  Past the grace window it means a
+                    # fabricated certificate was materialized.
+                    key = (replica.node_id, repr(dep_id))
+                    first = self._dep_pending.setdefault(key, self.samples)
+                    if self.samples - first >= self.dep_grace:
+                        self._record(
+                            now, "conservation", replica=replica.node_id,
+                            client=repr(client), unknown_dep=repr(dep_id),
+                        )
+                    unresolved += 1
                     continue
+                self._dep_pending.pop((replica.node_id, repr(dep_id)), None)
                 credited += effect[1]
+            if unresolved and self.dep_grace > 0:
+                # Credits cannot be summed yet; re-check next sample.
+                continue
             expected = initial - spent + credited
             if state.balances.get(client, 0) != expected:
                 self._record(

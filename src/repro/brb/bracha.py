@@ -129,6 +129,10 @@ class BrachaBroadcast(BroadcastLayer):
         self._delivered_up_to: Dict[int, int] = {}
         #: Out-of-order complete payloads awaiting FIFO drain.
         self._completed: Dict[int, Dict[int, Any]] = {}
+        #: Sequence numbers delivered out-of-band (WAL replay / catch-up
+        #: import); the FIFO drain skips them instead of waiting for a
+        #: READY quorum that may never re-form.  Empty in simulations.
+        self._external: Dict[int, Set[int]] = {}
         self._delivered_count = 0
         node.on(BrbPrepare, self._on_prepare)
         node.on(BrbEcho, self._on_echo)
@@ -253,13 +257,41 @@ class BrachaBroadcast(BroadcastLayer):
             return
         pending = self._completed.setdefault(origin, {})
         pending[seq] = payload
+        self._advance(origin, pending)
+
+    def _advance(self, origin: int, pending: Dict[int, Any]) -> None:
+        """Drain the FIFO frontier, skipping out-of-band deliveries."""
+        external = self._external.get(origin)
         delivered_up_to = self._delivered_up_to.get(origin, 0)
-        while delivered_up_to + 1 in pending:
-            delivered_up_to += 1
-            ready_payload = pending.pop(delivered_up_to)
-            self._delivered_count += 1
-            self.deliver_fn(origin, delivered_up_to, ready_payload)
+        while True:
+            next_seq = delivered_up_to + 1
+            if next_seq in pending:
+                delivered_up_to = next_seq
+                ready_payload = pending.pop(next_seq)
+                self._delivered_count += 1
+                self.deliver_fn(origin, next_seq, ready_payload)
+            elif external is not None and next_seq in external:
+                external.discard(next_seq)
+                delivered_up_to = next_seq
+            else:
+                break
         self._delivered_up_to[origin] = delivered_up_to
+
+    def mark_delivered(self, origin: int, seq: int) -> None:
+        """Record an out-of-band delivery (WAL replay / catch-up import).
+
+        The instance is flagged so READY quorums for it no longer
+        deliver, and the FIFO drain treats the sequence number as done.
+        """
+        self._instance(origin, seq).delivered = True
+        if not self.fifo:
+            return
+        if seq <= self._delivered_up_to.get(origin, 0):
+            return
+        self._external.setdefault(origin, set()).add(seq)
+        pending = self._completed.setdefault(origin, {})
+        pending.pop(seq, None)
+        self._advance(origin, pending)
 
     # ------------------------------------------------------------------
     # Plumbing

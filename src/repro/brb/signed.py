@@ -136,6 +136,7 @@ class SignedBroadcast(BroadcastLayer):
         key: KeyPair,
         f: Optional[int] = None,
         ack_guard: Optional[Any] = None,
+        resend_acks: bool = False,
     ) -> None:
         self.node = node
         self.peers: List[int] = list(peers)
@@ -144,6 +145,12 @@ class SignedBroadcast(BroadcastLayer):
         self.deliver_fn = deliver
         self.keychain = keychain
         self.key = key
+        #: Re-ACK a byte-identical duplicate PREPARE.  Off by default (a
+        #: duplicate is noise in a reliable-transport world); a crashed
+        #: broadcaster that rebroadcasts a pre-crash batch after recovery
+        #: needs the fresh ACKs to rebuild its quorum, so live clusters
+        #: running with persistence enable this (``brb_resend_acks``).
+        self.resend_acks = resend_acks
         #: Optional predicate ``guard(origin, seq, payload) -> bool`` run
         #: before ACKing a PREPARE.  Listing 6's conflict check ("verifies
         #: whether there exists a' != a previously received for identifier
@@ -187,6 +194,15 @@ class SignedBroadcast(BroadcastLayer):
     def delivered_count(self) -> int:
         return self._delivered_count
 
+    def mark_delivered(self, origin: int, seq: int) -> None:
+        """Record an out-of-band delivery (WAL replay / peer catch-up).
+
+        A stale COMMIT redelivered by a reconnecting peer then short-
+        circuits before certificate verification instead of reaching the
+        payment layer's dedup.
+        """
+        self._instance(origin, seq).delivered = True
+
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
@@ -207,7 +223,25 @@ class SignedBroadcast(BroadcastLayer):
             # Second PREPARE for the same identifier: if it conflicts, the
             # broadcaster is equivocating and we do nothing (Listing 6
             # acks only the first payload; resending an ACK would be
-            # harmless but is unnecessary in an idempotent layer).
+            # harmless but is unnecessary in an idempotent layer).  With
+            # ``resend_acks`` a byte-identical duplicate *is* re-ACKed —
+            # a recovered broadcaster relaunching a pre-crash batch lost
+            # its collected quorum and needs the signatures again.
+            if (
+                self.resend_acks
+                and src != self.node.node_id
+                and instance.pending_digest == _payload_digest(message.payload)
+            ):
+                signature = sign(
+                    self.key,
+                    _ack_content(src, message.seq, instance.pending_digest),
+                )
+                ack = SbAck(src, message.seq, instance.pending_digest, signature)
+                ack_cost = costs.MESSAGE_OVERHEAD + costs.ECDSA_VERIFY
+                self.node.send(
+                    src, ack, size=_ACK_BYTES, recv_cost=ack_cost,
+                    send_cost=costs.SEND_OVERHEAD,
+                )
             return
         if self.ack_guard is not None and not self.ack_guard(
             src, message.seq, message.payload

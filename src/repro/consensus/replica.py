@@ -117,6 +117,8 @@ class BftReplica(ProtocolEndpoint):
         self._view_entered_at = 0.0
         self.executed_count = 0
         self.view_changes = 0
+        # Durable state (live cluster only; ``None`` in simulations).
+        self._wal = None
         #: External hooks: fn(payment) on each local execution.
         self.exec_hooks: List[Any] = []
         self.client_nodes: Dict[ClientId, int] = {}
@@ -314,9 +316,14 @@ class BftReplica(ProtocolEndpoint):
     # Execution
     # ------------------------------------------------------------------
     def _execute_ready(self) -> None:
+        wal = self._wal
         while self._last_executed + 1 in self._decided_batches:
             self._last_executed += 1
             batch = self._decided_batches[self._last_executed]
+            if wal is not None:
+                # Write-ahead: the decided slot is durable before its
+                # payments touch the ledger.
+                wal.record(("exec", self._last_executed, batch))
             self.charge(
                 (self.config.settle_cost + self.config.reply_cost)
                 * batch.batch_items
@@ -324,6 +331,8 @@ class BftReplica(ProtocolEndpoint):
             for payment in batch:
                 self._pending.pop(payment.identifier, None)
                 self.ledger.apply(payment)
+        if wal is not None:
+            self._wal_checkpoint()
 
     def _on_settle(self, payment: Payment) -> None:
         self.executed_count += 1
@@ -514,6 +523,86 @@ class BftReplica(ProtocolEndpoint):
                 if key not in reproposed:
                     self._request_queue.append(payment)
             self._schedule_flush()
+
+    # ------------------------------------------------------------------
+    # Durable state & crash recovery (live cluster only)
+    # ------------------------------------------------------------------
+    def bind_persistence(self, store):
+        """Attach a WAL/snapshot store and recover any prior state.
+
+        The consensus baseline logs one ``exec`` record per decided slot
+        (write-ahead of execution); replay re-applies the slots past the
+        snapshot in order.  Must run before the transport starts, so
+        replayed client replies fall on the floor.
+        """
+        from ..core.persistence import (
+            RecoveryReport,
+            WalCorruption,
+            restore_account_state,
+            state_fingerprint,
+        )
+
+        self._wal = store
+        snapshot = store.load_snapshot()
+        replay_from = 0
+        if snapshot is not None:
+            restore_account_state(self.ledger.state, snapshot["account"])
+            self.ledger.settled_count = snapshot["settled_count"]
+            self.ledger._waiting = {
+                c: dict(q) for c, q in snapshot["waiting"].items()
+            }
+            self._last_executed = snapshot["last_executed"]
+            self.executed_count = snapshot["executed_count"]
+            replay_from = snapshot["wal_count"]
+            if snapshot["fingerprint"] != state_fingerprint(self.ledger.state):
+                raise WalCorruption(
+                    f"replica {self.node_id}: snapshot fingerprint mismatch"
+                )
+        replayed = 0
+        for index, record in enumerate(store.recovery_records()):
+            if index < replay_from:
+                continue
+            kind = record[0]
+            if kind == "exec":
+                slot, batch = record[1], record[2]
+                if slot <= self._last_executed:
+                    continue  # already captured by the snapshot
+                self._last_executed = slot
+                for payment in batch:
+                    self.ledger.apply(payment)
+            elif kind == "fp":
+                actual = state_fingerprint(self.ledger.state)
+                if record[1] != actual:
+                    raise WalCorruption(
+                        f"replica {self.node_id}: replay diverged at WAL "
+                        f"fingerprint {record[1][:12]}.."
+                    )
+            replayed += 1
+        # Slots above the replayed frontier must be re-decided; the
+        # ordering protocol (or a view change) re-proposes them.
+        self._next_propose = max(self._next_propose, self._last_executed + 1)
+        store.finish_recovery()
+        return RecoveryReport(
+            snapshot is not None, replayed, state_fingerprint(self.ledger.state)
+        )
+
+    def _wal_checkpoint(self) -> None:
+        from ..core.persistence import snapshot_account_state, state_fingerprint
+
+        store = self._wal
+        if store.fingerprint_due():
+            store.record_fingerprint(state_fingerprint(self.ledger.state))
+        if store.snapshot_due():
+            store.write_snapshot({
+                "fingerprint": state_fingerprint(self.ledger.state),
+                "account": snapshot_account_state(self.ledger.state),
+                "settled_count": self.ledger.settled_count,
+                "waiting": {
+                    c: dict(q) for c, q in self.ledger._waiting.items()
+                },
+                "last_executed": self._last_executed,
+                "executed_count": self.executed_count,
+            })
 
     # ------------------------------------------------------------------
     # Introspection

@@ -46,6 +46,12 @@ class Astro1Replica(AstroReplicaBase):
         self.brb.broadcast(seq, batch, batch.size_bytes)
 
     def _on_brb_deliver(self, origin: int, seq: int, batch: Batch) -> None:
+        if self._wal is not None:
+            if not self._wal_deliver(origin, seq, batch):
+                return
+            self._deliver_batch(origin, batch)
+            self._wal_checkpoint()
+            return
         self._deliver_batch(origin, batch)
 
     def _approve_funds(self, payment: Payment) -> bool:

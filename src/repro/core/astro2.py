@@ -76,6 +76,7 @@ class Astro2Replica(AstroReplicaBase):
             key,
             f=config.f,
             ack_guard=self._ack_guard,
+            resend_acks=config.brb_resend_acks,
         )
         # --- representative-side state (Listings 7, 10) ---
         self._collector = DependencyCollector(directory, keychain, node_id)
@@ -247,6 +248,8 @@ class Astro2Replica(AstroReplicaBase):
         self.brb.broadcast(seq, batch, batch.size_bytes)
 
     def _on_brb_deliver(self, origin: int, seq: int, batch: Batch) -> None:
+        if self._wal is not None and not self._wal_deliver(origin, seq, batch):
+            return  # duplicate: replayed, imported, or redelivered frame
         # Charge verification of attached dependency certificates once per
         # *sub-batch* certificate (f+1 signatures each) — verification,
         # like signing, is amortized by the 2-level batching scheme.
@@ -288,6 +291,8 @@ class Astro2Replica(AstroReplicaBase):
                     self._apply_credit(self.node_id, message)
                 else:
                     add(rep_node, message)
+        if self._wal is not None:
+            self._wal_checkpoint()
 
     # ------------------------------------------------------------------
     # Settlement (Listings 8–9)
@@ -445,9 +450,17 @@ class Astro2Replica(AstroReplicaBase):
             self._send_credits(rep_node, [message])
 
     def _on_credit(self, src: int, message: CreditMessage) -> None:
+        if self._wal is not None:
+            # Durable before applied.  Only *remote* CREDITs are logged:
+            # self-credits are regenerated deterministically when the
+            # delivery that produced them is replayed.
+            self._wal.record(("credit", src, message))
         self._apply_credit(src, message)
 
     def _on_credit_bundle(self, src: int, bundle: CreditBundle) -> None:
+        if self._wal is not None:
+            for message in bundle.messages:
+                self._wal.record(("credit", src, message))
         for message in bundle.messages:
             self._apply_credit(src, message)
 
@@ -469,6 +482,64 @@ class Astro2Replica(AstroReplicaBase):
             projected[beneficiary] = projected.get(beneficiary, 0) + payment.amount
             if beneficiary in held:
                 self._release_held(beneficiary)
+
+    # ------------------------------------------------------------------
+    # Durable state & crash recovery (live cluster only)
+    # ------------------------------------------------------------------
+    def _replay_record(self, record) -> None:
+        if record[0] == "credit":
+            self._apply_credit(record[1], record[2])
+        else:
+            super()._replay_record(record)
+
+    def _snapshot_data(self):
+        data = super()._snapshot_data()
+        # Representative- and replica-side Astro II state that WAL replay
+        # alone cannot reconstruct (CREDIT aggregation is cumulative).
+        # Everything here pickles via the compact ``__reduce__`` wire
+        # encodings already used cross-process by the sharded simulator.
+        data["deps"] = {c: list(certs) for c, certs in self._deps.items()}
+        data["projected"] = dict(self._projected)
+        data["attached_projection"] = dict(self._attached_projection)
+        data["held"] = {c: list(q) for c, q in self._held.items()}
+        data["collector"] = self._collector
+        data["seen_payments"] = dict(self._seen_payments)
+        data["used_deps"] = {c: set(s) for c, s in self._used_deps.items()}
+        data["verified_certs"] = set(self._verified_certs)
+        return data
+
+    def _restore_snapshot(self, data) -> None:
+        super()._restore_snapshot(data)
+        self._deps = {c: list(certs) for c, certs in data["deps"].items()}
+        self._projected = dict(data["projected"])
+        self._attached_projection = dict(data["attached_projection"])
+        self._held = {c: deque(q) for c, q in data["held"].items()}
+        self._collector = data["collector"]
+        self._seen_payments = dict(data["seen_payments"])
+        self._used_deps = {c: set(s) for c, s in data["used_deps"].items()}
+        self._verified_certs = set(data["verified_certs"])
+
+    def _finish_recovery(self) -> None:
+        super()._finish_recovery()
+        # Rebuild the ACK-guard conflict log from every payment this
+        # replica durably knows: payments ACKed between the last WAL
+        # record and the crash are unavoidably forgotten, but quorum
+        # intersection still protects safety globally (2f+1 ACKs need
+        # f+1 correct replicas, and at most this one is amnesiac).
+        seen = self._seen_payments
+        for log in self.state.xlogs.values():
+            for payment in log._entries:
+                seen.setdefault(payment.identifier, payment.core)
+        for queue in self._awaiting_seq.values():
+            for payment in queue.values():
+                seen.setdefault(payment.identifier, payment.core)
+        for batch in self._launched_pending.values():
+            for payment in batch.items:
+                seen.setdefault(payment.identifier, payment.core)
+        # ``_projected`` may over-state after a crash (ingest-time debits
+        # between the last snapshot and the crash are not logged).  That
+        # is the safe direction for safety — an over-projected payment is
+        # rejected at settle (Listing 9 l.49) without advancing sn.
 
     # ------------------------------------------------------------------
     # Introspection

@@ -59,6 +59,12 @@ class AstroConfig:
     #: Maximum broadcast batches a representative keeps in flight;
     #: additional batches queue locally (flow control / backpressure).
     max_inflight_batches: int = 16
+    #: Astro II only: re-ACK byte-identical duplicate PREPAREs in the
+    #: signed BRB.  Needed by live clusters running with persistence (a
+    #: recovered broadcaster relaunches pre-crash batches and must be
+    #: able to re-collect its ACK quorum); off by default so simulator
+    #: message flows stay byte-identical.
+    brb_resend_acks: bool = False
 
     def __post_init__(self) -> None:
         if self.f is None:

@@ -12,7 +12,7 @@ per-client sequence-gap queue that implements approval's *wait* (Listing
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..brb.batching import Batch, Batcher
 from ..transport.endpoint import ProtocolEndpoint
@@ -22,6 +22,14 @@ from .config import AstroConfig
 from .directory import Directory
 from .messages import CONFIRM_BYTES, ClientConfirm, ClientSubmit
 from .payment import ClientId, Payment
+from .persistence import (
+    RecoveryReport,
+    ReplicaStore,
+    WalCorruption,
+    restore_account_state,
+    snapshot_account_state,
+    state_fingerprint,
+)
 
 __all__ = ["AstroReplicaBase"]
 
@@ -85,6 +93,16 @@ class AstroReplicaBase(ProtocolEndpoint):
         self.confirm_hooks: List[ConfirmFn] = []
         #: node id of each client's own node, when clients run as nodes.
         self.client_nodes: Dict[ClientId, int] = {}
+        # --- durable state (live cluster only; ``None`` in simulations,
+        # --- keeping every simulator code path byte-identical) ---
+        self._wal: Optional[ReplicaStore] = None
+        #: Per-origin highest contiguously delivered broadcast sequence.
+        self._delivered_frontier: Dict[int, int] = {}
+        #: Out-of-order delivered ``(origin, seq)`` above the frontier.
+        self._delivered_extra: Set[Tuple[int, int]] = set()
+        #: Our own batches launched but not yet BRB-delivered back to us;
+        #: rebroadcast after a crash (``relaunch_pending``).
+        self._launched_pending: Dict[int, Batch] = {}
         self.on(ClientSubmit, self._on_client_submit)
 
     # ------------------------------------------------------------------
@@ -144,6 +162,12 @@ class AstroReplicaBase(ProtocolEndpoint):
 
     def _launch_batch(self, batch: Batch) -> None:
         self._broadcast_seq += 1
+        if self._wal is not None:
+            # Write-ahead: the launch is durable before any frame leaves,
+            # so a crash between broadcast and delivery can rebroadcast
+            # the identical batch at the identical sequence number.
+            self._wal.record(("launch", self._broadcast_seq, batch))
+            self._launched_pending[self._broadcast_seq] = batch
         self._inflight_batches += 1
         self._do_broadcast(self._broadcast_seq, batch)
 
@@ -257,6 +281,197 @@ class AstroReplicaBase(ProtocolEndpoint):
                 ClientConfirm(payment, now),
                 size=CONFIRM_BYTES,
             )
+
+    # ------------------------------------------------------------------
+    # Durable state & crash recovery (live cluster only)
+    # ------------------------------------------------------------------
+    def bind_persistence(self, store: ReplicaStore) -> RecoveryReport:
+        """Attach a WAL/snapshot store and recover any prior state.
+
+        Must run **before** the transport starts: replay re-executes the
+        delivery path, and replayed sends (confirms, CREDITs) must fall
+        on the floor rather than reach the network.  Replay lands exactly
+        on the pre-crash state or raises :class:`WalCorruption`.
+        """
+        self._wal = store
+        snapshot = store.load_snapshot()
+        replay_from = 0
+        if snapshot is not None:
+            self._restore_snapshot(snapshot)
+            replay_from = snapshot["wal_count"]
+        replayed = 0
+        for index, record in enumerate(store.recovery_records()):
+            if index < replay_from:
+                continue  # state already captured by the snapshot
+            self._replay_record(record)
+            replayed += 1
+        self._finish_recovery()
+        store.finish_recovery()
+        return RecoveryReport(
+            snapshot is not None, replayed, state_fingerprint(self.state)
+        )
+
+    def _replay_record(self, record: Tuple[Any, ...]) -> None:
+        kind = record[0]
+        if kind == "deliver":
+            # Re-run the full delivery path; ``recording`` is off, so
+            # nothing is re-appended and no checkpoint fires.
+            self._on_brb_deliver(record[1], record[2], record[3])
+        elif kind == "launch":
+            seq, batch = record[1], record[2]
+            if self._broadcast_seq < seq:
+                self._broadcast_seq = seq
+            self._launched_pending[seq] = batch
+        elif kind == "fp":
+            actual = state_fingerprint(self.state)
+            if record[1] != actual:
+                raise WalCorruption(
+                    f"replica {self.node_id}: replay diverged at WAL "
+                    f"fingerprint {record[1][:12]}.. (got {actual[:12]}..)"
+                )
+        # unknown kinds are ignored (forward compatibility)
+
+    def _on_brb_deliver(self, origin: int, seq: int, batch: Batch) -> None:
+        """Variant hook: BRB delivery entry point (replayed verbatim)."""
+        raise NotImplementedError
+
+    def _wal_deliver(self, origin: int, seq: int, batch: Batch) -> bool:
+        """Frontier dedup + durable record for one BRB delivery.
+
+        Returns ``False`` when ``(origin, seq)`` was already applied —
+        the unified idempotency guard covering WAL replay, catch-up
+        imports, and stale frames a reconnecting peer redelivers.
+        Only called when persistence is bound.
+        """
+        if not self._note_delivered(origin, seq):
+            return False
+        self._wal.record(("deliver", origin, seq, batch))
+        if origin == self.node_id:
+            self._launched_pending.pop(seq, None)
+        return True
+
+    def _note_delivered(self, origin: int, seq: int) -> bool:
+        front = self._delivered_frontier.get(origin, 0)
+        if seq <= front or (origin, seq) in self._delivered_extra:
+            return False
+        if seq == front + 1:
+            front += 1
+            extra = self._delivered_extra
+            while (origin, front + 1) in extra:
+                extra.discard((origin, front + 1))
+                front += 1
+            self._delivered_frontier[origin] = front
+        else:
+            self._delivered_extra.add((origin, seq))
+        return True
+
+    def _wal_checkpoint(self) -> None:
+        """Periodic fingerprint self-check + snapshot, driven by record
+        count.  No-ops during replay (``recording`` is off)."""
+        store = self._wal
+        if store.fingerprint_due():
+            store.record_fingerprint(state_fingerprint(self.state))
+        if store.snapshot_due():
+            store.write_snapshot(self._snapshot_data())
+
+    def _snapshot_data(self) -> Dict[str, Any]:
+        """Picklable capture of everything replay cannot reconstruct."""
+        return {
+            "fingerprint": state_fingerprint(self.state),
+            "account": snapshot_account_state(self.state),
+            "settled_count": self.settled_count,
+            "rejected": list(self.rejected),
+            "broadcast_seq": self._broadcast_seq,
+            "launched_pending": dict(self._launched_pending),
+            "frontier": dict(self._delivered_frontier),
+            "extra": frozenset(self._delivered_extra),
+            "awaiting": {c: dict(q) for c, q in self._awaiting_seq.items()},
+            "accepted_seq": dict(self._accepted_seq),
+        }
+
+    def _restore_snapshot(self, data: Dict[str, Any]) -> None:
+        restore_account_state(self.state, data["account"])
+        self.settled_count = data["settled_count"]
+        self.rejected = list(data["rejected"])
+        self._broadcast_seq = data["broadcast_seq"]
+        self._launched_pending = dict(data["launched_pending"])
+        self._delivered_frontier = dict(data["frontier"])
+        self._delivered_extra = set(data["extra"])
+        self._awaiting_seq = {c: dict(q) for c, q in data["awaiting"].items()}
+        self._accepted_seq = dict(data["accepted_seq"])
+        if data["fingerprint"] != state_fingerprint(self.state):
+            raise WalCorruption(
+                f"replica {self.node_id}: snapshot fingerprint mismatch"
+            )
+
+    def _finish_recovery(self) -> None:
+        """Post-replay fixups (variants extend this).
+
+        Marks everything already applied as delivered in the BRB layer —
+        stale frames redelivered by reconnecting peers are then dropped
+        cheaply and FIFO drains skip imported sequence numbers — and
+        rebuilds a conservative ``_accepted_seq`` so a client retrying an
+        already-broadcast payment cannot create a duplicate identifier.
+        """
+        mark = self.brb.mark_delivered
+        for origin, front in self._delivered_frontier.items():
+            for seq in range(1, front + 1):
+                mark(origin, seq)
+        for origin, seq in self._delivered_extra:
+            mark(origin, seq)
+        accepted = self._accepted_seq
+        rep_get = self._rep_map.get
+        me = self.node_id
+        for client, seq in self.state.seqnums.items():
+            if seq > 0 and rep_get(client) == me and accepted.get(client, 0) < seq:
+                accepted[client] = seq
+        for batch in self._launched_pending.values():
+            for payment in batch.items:
+                spender = payment.spender
+                if rep_get(spender) == me and accepted.get(spender, 0) < payment.seq:
+                    accepted[spender] = payment.seq
+        for client, queue in self._awaiting_seq.items():
+            if rep_get(client) == me and queue:
+                top = max(queue)
+                if accepted.get(client, 0) < top:
+                    accepted[client] = top
+
+    def relaunch_pending(self) -> List[int]:
+        """Rebroadcast batches launched but never delivered pre-crash.
+
+        Run *after* catch-up: a batch that did complete at the peers
+        arrives via import (which pops it from ``_launched_pending``), so
+        only genuinely undelivered batches are rebroadcast — at their
+        original sequence numbers, with identical content, which the
+        signed BRB's re-ACK path (``resend_acks``) completes.
+        """
+        seqs = sorted(self._launched_pending)
+        for seq in seqs:
+            self._inflight_batches += 1
+            self._do_broadcast(seq, self._launched_pending[seq])
+        return seqs
+
+    def import_batch(self, origin: int, seq: int, batch: Batch) -> bool:
+        """Apply a batch fetched from a peer's WAL (catch-up).
+
+        Goes through the normal delivery path with recording on, so the
+        import itself is durable, then marks the BRB instance delivered.
+        Returns ``False`` for duplicates.
+        """
+        front = self._delivered_frontier.get(origin, 0)
+        if seq <= front or (origin, seq) in self._delivered_extra:
+            return False
+        self._on_brb_deliver(origin, seq, batch)
+        self.brb.mark_delivered(origin, seq)
+        return True
+
+    @property
+    def delivered_frontier(self) -> Dict[int, int]:
+        return dict(self._delivered_frontier)
+
+    @property
+    def delivered_extra(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted(self._delivered_extra))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,447 @@
+"""Fault timelines for the live TCP cluster (and the simulator).
+
+One timeline spec drives both backends.  The grammar is a ``;``-separated
+list of events, each ``action[:body]@time`` with times in seconds
+relative to the start of the measurement window:
+
+``crash:1@5``
+    SIGKILL replica 1 at t=5 (simulator: crash-stop).
+``recover:1@10``
+    Restart replica 1 at t=10 (simulator: un-crash).
+``delay:2x0.05@3``
+    From t=3, add 50 ms to every frame leaving replica 2.
+``drop:2x0.3@3``
+    From t=3, drop 30 % of frames leaving replica 2 (live only — the
+    simulator's :class:`~repro.sim.faults.FaultInjector` has no
+    probabilistic loss).
+``partition:0,1|2,3@4``
+    Sever {0,1} from {2,3} in both directions at t=4.
+``heal@8``
+    Clear every delay/drop/partition at t=8.
+
+:func:`apply_timeline` feeds parsed events to anything exposing the
+simulator injector's method surface (``crash``, ``recover``,
+``delay_egress``, ``partition``, ``heal`` …): pass
+``system.faults`` for a simulation or a :class:`LiveFaultInjector` for a
+real cluster, and the identical spec produces the analogous fault
+schedule — the basis of the sim-vs-live parity tests.
+
+The live side implements transport shaping via :class:`LinkFault`
+control messages (applied to :meth:`TcpTransport.set_link_fault` inside
+each replica process) and process faults via SIGKILL/respawn in the
+cluster parent.  :class:`LiveMonitorFeed` adapts periodic replica state
+snapshots into the ``system`` shape
+:class:`~repro.adversary.monitor.InvariantMonitor` samples, so the same
+five safety invariants verified under simulated attacks run against the
+real cluster during chaos.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.accounts import AccountState
+from ..core.persistence import state_fingerprint
+from ..core.xlog import ExclusiveLog
+
+__all__ = [
+    "FaultEvent",
+    "LinkFault",
+    "LiveFaultInjector",
+    "LiveMonitorFeed",
+    "StateSnapshotReply",
+    "StateSnapshotRequest",
+    "apply_link_fault",
+    "apply_timeline",
+    "parse_timeline",
+    "replica_state_view",
+]
+
+
+class FaultEvent:
+    """One parsed timeline event."""
+
+    __slots__ = ("at", "action", "args")
+
+    def __init__(self, at: float, action: str, args: Tuple[Any, ...]) -> None:
+        self.at = at
+        self.action = action
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultEvent {self.action}{self.args}@{self.at}>"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, FaultEvent)
+            and (self.at, self.action, self.args)
+            == (other.at, other.action, other.args)
+        )
+
+
+def parse_timeline(spec: str) -> List[FaultEvent]:
+    """Parse a timeline spec (see module docstring) into sorted events."""
+    events: List[FaultEvent] = []
+    for chunk in spec.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        head, sep, when = chunk.rpartition("@")
+        if not sep:
+            raise ValueError(f"timeline event {chunk!r} is missing '@time'")
+        at = float(when)
+        action, _, body = head.partition(":")
+        action = action.strip()
+        if action in ("crash", "recover"):
+            events.append(FaultEvent(at, action, (int(body),)))
+        elif action in ("delay", "drop"):
+            node_text, sep, value_text = body.partition("x")
+            if not sep:
+                raise ValueError(
+                    f"{action} event needs 'node x value', got {body!r}"
+                )
+            events.append(
+                FaultEvent(at, action, (int(node_text), float(value_text)))
+            )
+        elif action == "partition":
+            side_a, sep, side_b = body.partition("|")
+            if not sep:
+                raise ValueError(
+                    f"partition event needs 'a,b|c,d', got {body!r}"
+                )
+            group_a = tuple(int(n) for n in side_a.split(",") if n.strip())
+            group_b = tuple(int(n) for n in side_b.split(",") if n.strip())
+            events.append(FaultEvent(at, action, (group_a, group_b)))
+        elif action == "heal":
+            events.append(FaultEvent(at, "heal", ()))
+        else:
+            raise ValueError(f"unknown timeline action {action!r}")
+    events.sort(key=lambda event: event.at)
+    return events
+
+
+#: Timeline action → injector method name (sim and live share it).
+_ACTION_METHODS = {
+    "crash": "crash",
+    "recover": "recover",
+    "delay": "delay_egress",
+    "drop": "drop_egress",
+    "partition": "partition",
+    "heal": "heal",
+}
+
+
+def apply_timeline(injector: Any, events: Sequence[FaultEvent]) -> None:
+    """Schedule ``events`` on any injector with the FaultInjector API."""
+    for event in events:
+        method = getattr(injector, _ACTION_METHODS[event.action], None)
+        if method is None:
+            raise ValueError(
+                f"injector {injector!r} does not support {event.action!r}"
+            )
+        method(*event.args, at=event.at)
+
+
+# ----------------------------------------------------------------------
+# Control-channel messages (parent ↔ replica processes)
+# ----------------------------------------------------------------------
+class LinkFault:
+    """Egress shaping order for one replica process.
+
+    ``targets`` is a tuple of destination node ids, or ``None`` for all
+    known peers; ``clear`` removes shaping instead of installing it.
+    """
+
+    __slots__ = ("targets", "block", "drop", "delay", "clear")
+
+    def __init__(
+        self,
+        targets: Optional[Tuple[int, ...]],
+        block: bool = False,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        clear: bool = False,
+    ) -> None:
+        self.targets = targets
+        self.block = block
+        self.drop = drop
+        self.delay = delay
+        self.clear = clear
+
+    def __reduce__(self):
+        return (
+            LinkFault,
+            (self.targets, self.block, self.drop, self.delay, self.clear),
+        )
+
+
+def apply_link_fault(transport: Any, fault: LinkFault) -> None:
+    """Install or clear a :class:`LinkFault` on a ``TcpTransport``."""
+    if fault.clear:
+        if fault.targets is None:
+            transport.clear_link_faults()
+        else:
+            for dst in fault.targets:
+                transport.clear_link_fault(dst)
+        return
+    targets = (
+        fault.targets
+        if fault.targets is not None
+        else tuple(transport._peers.keys())
+    )
+    for dst in targets:
+        if dst == transport.node_id:
+            continue
+        transport.set_link_fault(
+            dst, block=fault.block, drop=fault.drop, delay=fault.delay
+        )
+
+
+class StateSnapshotRequest:
+    """Parent asks a replica process for its current state view."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+
+    def __reduce__(self):
+        return (StateSnapshotRequest, (self.tag,))
+
+
+class StateSnapshotReply:
+    __slots__ = ("tag", "node_id", "view")
+
+    def __init__(self, tag: int, node_id: int, view: Dict[str, Any]) -> None:
+        self.tag = tag
+        self.node_id = node_id
+        self.view = view
+
+    def __reduce__(self):
+        return (StateSnapshotReply, (self.tag, self.node_id, self.view))
+
+
+def replica_state_view(replica: Any) -> Dict[str, Any]:
+    """Picklable capture of the state the invariant monitor samples."""
+    state = replica.state
+    view: Dict[str, Any] = {
+        "balances": dict(state.balances),
+        "seqnums": dict(state.seqnums),
+        "xlogs": {
+            owner: tuple(log._entries) for owner, log in state.xlogs.items()
+        },
+        "settled": sum(state.seqnums.values()),
+        "fingerprint": state_fingerprint(state),
+    }
+    used_deps = getattr(replica, "_used_deps", None)
+    if used_deps is not None:
+        view["used_deps"] = {c: set(s) for c, s in used_deps.items()}
+    return view
+
+
+# ----------------------------------------------------------------------
+# Live fault injector (mirrors repro.sim.faults.FaultInjector)
+# ----------------------------------------------------------------------
+FaultFn = Callable[..., Union[None, Awaitable[None]]]
+
+
+class LiveFaultInjector:
+    """Executes a fault schedule against real replica processes.
+
+    Same method surface as the simulator's
+    :class:`~repro.sim.faults.FaultInjector` (so :func:`apply_timeline`
+    drives either), but times are relative to the ``t0`` passed to
+    :meth:`run` and execution is an asyncio task in the cluster parent.
+
+    ``crash_fn(node_id)`` / ``recover_fn(node_id)`` act on processes
+    (SIGKILL / respawn) and may be coroutines; ``link_fn(node_id,
+    LinkFault)`` ships a shaping order to a replica process.
+    """
+
+    def __init__(
+        self,
+        crash_fn: FaultFn,
+        recover_fn: FaultFn,
+        link_fn: Callable[[int, LinkFault], None],
+        replica_ids: Iterable[int],
+    ) -> None:
+        self._crash_fn = crash_fn
+        self._recover_fn = recover_fn
+        self._link_fn = link_fn
+        self.replica_ids = list(replica_ids)
+        self._schedule: List[FaultEvent] = []
+        #: Mirrors the simulator injector's ``log``: (t, action, payload).
+        self.log: List[Tuple[float, str, Any]] = []
+        self._t0: Optional[float] = None
+
+    # -- scheduling (FaultInjector API) --------------------------------
+    def crash(self, node_id: int, at: float = 0.0) -> None:
+        self._schedule.append(FaultEvent(at, "crash", (node_id,)))
+
+    def recover(self, node_id: int, at: float = 0.0) -> None:
+        self._schedule.append(FaultEvent(at, "recover", (node_id,)))
+
+    def delay_egress(self, node_id: int, extra: float, at: float = 0.0) -> None:
+        self._schedule.append(FaultEvent(at, "delay", (node_id, extra)))
+
+    def delay_all(
+        self, node_ids: Iterable[int], extra: float, at: float = 0.0
+    ) -> None:
+        for node_id in node_ids:
+            self.delay_egress(node_id, extra, at=at)
+
+    def drop_egress(
+        self, node_id: int, probability: float, at: float = 0.0
+    ) -> None:
+        self._schedule.append(FaultEvent(at, "drop", (node_id, probability)))
+
+    def partition(
+        self, group_a: Iterable[int], group_b: Iterable[int], at: float = 0.0
+    ) -> None:
+        set_a, set_b = set(group_a), set(group_b)
+        overlap = set_a & set_b
+        if overlap:
+            raise ValueError(
+                f"partition groups must be disjoint; both contain "
+                f"{sorted(overlap)}"
+            )
+        self._schedule.append(
+            FaultEvent(at, "partition", (tuple(sorted(set_a)), tuple(sorted(set_b))))
+        )
+
+    def heal(self, at: float = 0.0) -> None:
+        self._schedule.append(FaultEvent(at, "heal", ()))
+
+    # -- execution ------------------------------------------------------
+    async def run(self, t0: float) -> None:
+        """Execute the schedule; ``at`` times are relative to ``t0``
+        (loop-clock seconds, e.g. the start of the measurement window)."""
+        self._t0 = t0
+        loop = asyncio.get_running_loop()
+        for event in sorted(self._schedule, key=lambda e: e.at):
+            remaining = t0 + event.at - loop.time()
+            if remaining > 0:
+                await asyncio.sleep(remaining)
+            await self._execute(event)
+
+    async def _execute(self, event: FaultEvent) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time() - (self._t0 or 0.0)
+        action, args = event.action, event.args
+        if action == "crash":
+            result = self._crash_fn(args[0])
+            if result is not None:
+                await result
+            self.log.append((now, "crash", args[0]))
+        elif action == "recover":
+            result = self._recover_fn(args[0])
+            if result is not None:
+                await result
+            self.log.append((now, "recover", args[0]))
+        elif action == "delay":
+            node_id, extra = args
+            self._link_fn(node_id, LinkFault(None, delay=extra))
+            self.log.append((now, "delay", (node_id, extra)))
+        elif action == "drop":
+            node_id, probability = args
+            self._link_fn(node_id, LinkFault(None, drop=probability))
+            self.log.append((now, "drop", (node_id, probability)))
+        elif action == "partition":
+            group_a, group_b = args
+            for node_id in group_a:
+                self._link_fn(node_id, LinkFault(tuple(group_b), block=True))
+            for node_id in group_b:
+                self._link_fn(node_id, LinkFault(tuple(group_a), block=True))
+            pairs = tuple(sorted((a, b) for a in group_a for b in group_b))
+            self.log.append((now, "partition", pairs))
+        elif action == "heal":
+            for node_id in self.replica_ids:
+                self._link_fn(node_id, LinkFault(None, clear=True))
+            self.log.append((now, "heal", None))
+
+
+# ----------------------------------------------------------------------
+# Monitor feed: live snapshots → the `system` shape InvariantMonitor reads
+# ----------------------------------------------------------------------
+class _ReplicaView:
+    """Frozen-until-updated stand-in for one replica's sampled state."""
+
+    def __init__(self, node_id: int, genesis: Dict[Any, int], deps: bool) -> None:
+        self.node_id = node_id
+        self.state = AccountState(genesis)
+        if deps:
+            self._used_deps: Dict[Any, set] = {}
+        self.fingerprint: Optional[str] = None
+        self.settled = 0
+        self.updated_at: Optional[float] = None
+
+    def update(self, view: Dict[str, Any], now: Optional[float] = None) -> None:
+        state = self.state
+        state.balances = dict(view["balances"])
+        state.seqnums = dict(view["seqnums"])
+        xlogs: Dict[Any, ExclusiveLog] = {}
+        for owner, entries in view["xlogs"].items():
+            log = ExclusiveLog(owner)
+            log._entries = list(entries)
+            xlogs[owner] = log
+        state.xlogs = xlogs
+        if "used_deps" in view and hasattr(self, "_used_deps"):
+            self._used_deps = {c: set(s) for c, s in view["used_deps"].items()}
+        self.fingerprint = view.get("fingerprint")
+        self.settled = view.get("settled", 0)
+        self.updated_at = now
+
+
+class LiveMonitorFeed:
+    """``system``-shaped adapter over live replica snapshots.
+
+    Construct before the run (the monitor captures genesis balances from
+    it), then :meth:`update` each arriving :class:`StateSnapshotReply`.
+    A crashed replica's view simply stops updating — its frozen state
+    must still satisfy every invariant, exactly the monitor's contract
+    for crashed-but-correct replicas.  Use ``autostart=False`` when
+    constructing the monitor and drive ``monitor.sample(now)`` from the
+    parent's control loop.
+    """
+
+    def __init__(
+        self,
+        replica_ids: Iterable[int],
+        genesis: Dict[Any, int],
+        directory: Any,
+        deps: bool,
+    ) -> None:
+        self.replica_node_ids = list(replica_ids)
+        self.directory = directory
+        self._views = {
+            node_id: _ReplicaView(node_id, genesis, deps)
+            for node_id in self.replica_node_ids
+        }
+        #: Never consulted with ``autostart=False``; present so a
+        #: mistaken autostart fails loudly instead of mysteriously.
+        self.sim = None
+
+    def replica_by_node(self, node_id: int) -> _ReplicaView:
+        return self._views[node_id]
+
+    def update(self, reply: StateSnapshotReply, now: Optional[float] = None) -> None:
+        view = self._views.get(reply.node_id)
+        if view is not None:
+            view.update(reply.view, now)
+
+    def fingerprints(self) -> Dict[int, Optional[str]]:
+        return {
+            node_id: view.fingerprint for node_id, view in self._views.items()
+        }

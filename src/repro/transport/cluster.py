@@ -11,13 +11,29 @@ load generator (a paced client population, like
 measures settled wall-clock throughput over a steady-state window, and
 writes the result to ``BENCH_live.json``.
 
+With ``--wal-dir`` every replica binds a
+:class:`~repro.core.persistence.ReplicaStore` (append-only WAL +
+periodic snapshots) before its transport starts, and ``--chaos`` drives
+a fault timeline (:mod:`repro.transport.chaos`) against the running
+cluster: SIGKILL/restart of replica processes, partitions, frame
+delay/drop.  A restarted replica rebinds its old port, replays its log
+to the pre-crash state fingerprint, pulls missed batches from a peer
+(bounded catch-up), and rejoins; meanwhile the parent samples every
+replica's state over a control channel and feeds the
+:class:`~repro.adversary.monitor.InvariantMonitor` — the same five
+safety invariants checked under simulated attacks, now on the real
+cluster.  The chaos verdict, per-replica recovery latency, and final
+cross-replica fingerprints land in ``BENCH_chaos.json``.
+
 Determinism note: the simulated crypto derives digests and signature
 tokens from Python's ``hash``, which is per-interpreter randomized.
 All replica processes must therefore share one hash seed.  With the
-``fork`` start method (Linux) children inherit the parent's seed; with
-``spawn`` this module pins ``PYTHONHASHSEED`` in the children's
-environment before launching them.  The parent itself never computes a
-protocol digest, so its own seed is irrelevant.
+``fork`` start method (Linux) children inherit the parent's seed — a
+*restarted* child forks from the same parent, so recovery replays
+against identical digests; with ``spawn`` this module pins
+``PYTHONHASHSEED`` in the children's environment before launching them.
+The parent itself never computes a protocol digest, so its own seed is
+irrelevant.
 """
 
 from __future__ import annotations
@@ -27,8 +43,9 @@ import asyncio
 import json
 import multiprocessing
 import os
+import tempfile
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .clock import RealTimeClock
 from .tcp import TcpTransport
@@ -36,7 +53,9 @@ from .tcp import TcpTransport
 __all__ = [
     "build_replica",
     "default_genesis",
+    "payment_stream",
     "run_cluster",
+    "ReplicaProcessError",
     "StatsRequest",
     "StatsReply",
     "Shutdown",
@@ -51,6 +70,14 @@ CLIENTS_PER_REPLICA = 4
 
 #: Genesis balance per client: effectively unlimited for short runs.
 GENESIS_BALANCE = 1_000_000_000
+
+#: Bind retries for a restarted replica reclaiming its old port.
+_BIND_RETRIES = 50
+_BIND_RETRY_DELAY = 0.1
+
+
+class ReplicaProcessError(RuntimeError):
+    """A replica process died although no fault was scheduled for it."""
 
 
 # ---------------------------------------------------------------------------
@@ -87,6 +114,28 @@ def default_genesis(n: int) -> Dict[str, int]:
     }
 
 
+def payment_stream(clients: Sequence[str]) -> Iterator[Any]:
+    """The deterministic payment sequence the load generator emits.
+
+    Round-robin spender, next client as beneficiary, amount 1, per-client
+    sequence numbers dense from 1.  Exposed so the sim-parity tests can
+    feed the *same* workload to a simulated system and compare settled
+    sets after an identical fault timeline.
+    """
+    from ..core.payment import Payment
+
+    num = len(clients)
+    next_seq: Dict[str, int] = {}
+    index = 0
+    while True:
+        spender = clients[index % num]
+        beneficiary = clients[(index + 1) % num]
+        index += 1
+        seq = next_seq.get(spender, 0) + 1
+        next_seq[spender] = seq
+        yield Payment(spender, seq, beneficiary, 1)
+
+
 def _build_directory(n: int, clients: List[str]):
     """One shard of ``n`` replicas; clients round-robin by sorted order.
 
@@ -113,6 +162,7 @@ def build_replica(
     genesis: Dict[str, int],
     seed: int = 0,
     loadgen_node: Optional[int] = None,
+    resend_acks: bool = False,
 ):
     """Construct one live replica over ``transport``.
 
@@ -121,14 +171,16 @@ def build_replica(
     the same trick :mod:`repro.sim.shard` uses to replicate builds
     across shard workers.  ``loadgen_node`` registers every represented
     client as living at that node id, so settlement confirmations flow
-    back to the load generator.
+    back to the load generator.  ``resend_acks`` turns on the signed
+    BRB's duplicate-PREPARE re-ACK path (needed for crash recovery, off
+    for byte-identity with the simulator).
     """
     from ..core.astro1 import Astro1Replica
     from ..core.astro2 import Astro2Replica
     from ..core.config import AstroConfig
     from ..crypto.keys import Keychain, replica_owner
 
-    config = AstroConfig(num_replicas=n)
+    config = AstroConfig(num_replicas=n, brb_resend_acks=resend_acks)
     directory = _build_directory(n, list(genesis))
     node_id = transport.node_id
     if system == "astro1":
@@ -161,20 +213,148 @@ def build_replica(
 # Replica child process
 # ---------------------------------------------------------------------------
 def _replica_main(
-    system: str, n: int, node_id: int, conn, secret: bytes, seed: int
+    system: str,
+    n: int,
+    node_id: int,
+    conn,
+    secret: bytes,
+    seed: int,
+    port: int = 0,
+    wal_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    fingerprint_every: Optional[int] = None,
 ) -> None:
-    asyncio.run(_replica_async(system, n, node_id, conn, secret, seed))
+    asyncio.run(
+        _replica_async(
+            system, n, node_id, conn, secret, seed,
+            port, wal_dir, snapshot_every, fingerprint_every,
+        )
+    )
+
+
+async def _run_catch_up(
+    replica: Any,
+    transport: TcpTransport,
+    replies: "asyncio.Queue",
+    peer_ids: Sequence[int],
+    timeout: float = 2.0,
+    max_rounds: int = 1000,
+) -> int:
+    """Pull missed batches from peers until one reports nothing further.
+
+    Round-robins the peers; a timed-out round (peer down or slow) backs
+    off and moves to the next peer.  Live traffic keeps arriving during
+    catch-up through the normal delivery path — the frontier advances
+    from both directions and the loop converges when a full round
+    imports nothing new and the serving peer saw nothing missing.
+    """
+    from ..core.persistence import CatchUpRequest
+
+    loop = asyncio.get_running_loop()
+    imported = 0
+    tag = 0
+    backoff = 0.1
+    for round_no in range(max_rounds):
+        peer = peer_ids[round_no % len(peer_ids)]
+        tag += 1
+        transport.send(
+            peer,
+            CatchUpRequest(
+                tag, replica.delivered_frontier, replica.delivered_extra
+            ),
+        )
+        deadline = loop.time() + timeout
+        reply = None
+        try:
+            while True:
+                remaining = deadline - loop.time()
+                candidate = await asyncio.wait_for(
+                    replies.get(), max(0.01, remaining)
+                )
+                if candidate.tag == tag:
+                    reply = candidate
+                    break
+        except asyncio.TimeoutError:
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2, 1.0)
+            continue
+        backoff = 0.1
+        new = 0
+        for origin, seq, batch in reply.batches:
+            if replica.import_batch(origin, seq, batch):
+                new += 1
+        imported += new
+        if reply.complete and new == 0:
+            break
+    return imported
 
 
 async def _replica_async(
-    system: str, n: int, node_id: int, conn, secret: bytes, seed: int
+    system: str,
+    n: int,
+    node_id: int,
+    conn,
+    secret: bytes,
+    seed: int,
+    port: int = 0,
+    wal_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    fingerprint_every: Optional[int] = None,
 ) -> None:
+    from ..core.persistence import (
+        FINGERPRINT_INTERVAL,
+        SNAPSHOT_INTERVAL,
+        CatchUpReply,
+        CatchUpRequest,
+        ReplicaStore,
+        WalCorruption,
+        serve_catch_up,
+    )
+    from .chaos import (
+        LinkFault,
+        StateSnapshotReply,
+        StateSnapshotRequest,
+        apply_link_fault,
+        replica_state_view,
+    )
+
     loop = asyncio.get_running_loop()
     transport = TcpTransport(node_id, secret, clock=RealTimeClock(loop))
-    await transport.start()
     replica = build_replica(
-        system, n, transport, default_genesis(n), seed=seed, loadgen_node=n
+        system, n, transport, default_genesis(n), seed=seed, loadgen_node=n,
+        resend_acks=wal_dir is not None,
     )
+    store = None
+    report = None
+    if wal_dir is not None:
+        store = ReplicaStore(
+            wal_dir,
+            node_id,
+            snapshot_interval=snapshot_every or SNAPSHOT_INTERVAL,
+            fingerprint_interval=fingerprint_every or FINGERPRINT_INTERVAL,
+        )
+        try:
+            # Replay must precede transport start: replayed sends
+            # (confirms, CREDITs) fall on the floor instead of reaching
+            # the network.
+            report = replica.bind_persistence(store)
+        except WalCorruption as exc:
+            conn.send(("failed", node_id, str(exc)))
+            return
+    # A restarted replica reclaims its previous port so peers (which
+    # never learn of the restart) reconnect to the same address.  The
+    # predecessor was SIGKILLed, so the kernel may hold the socket for
+    # a moment.
+    for attempt in range(_BIND_RETRIES):
+        try:
+            await transport.start(port)
+            break
+        except OSError:
+            if attempt == _BIND_RETRIES - 1:
+                conn.send(("failed", node_id, f"cannot bind port {port}"))
+                return
+            await asyncio.sleep(_BIND_RETRY_DELAY)
+
     stop = asyncio.Event()
     transport.on(Shutdown, lambda src, msg: stop.set())
 
@@ -190,12 +370,169 @@ async def _replica_async(
         )
 
     transport.on(StatsRequest, _on_stats)
-    conn.send(("port", node_id, transport.port))
+    transport.on(LinkFault, lambda src, msg: apply_link_fault(transport, msg))
+    transport.on(
+        StateSnapshotRequest,
+        lambda src, msg: transport.send(
+            src, StateSnapshotReply(msg.tag, node_id, replica_state_view(replica))
+        ),
+    )
+    catch_up_replies: asyncio.Queue = asyncio.Queue()
+    if store is not None:
+        transport.on(
+            CatchUpRequest,
+            lambda src, msg: transport.send(src, serve_catch_up(store, msg)),
+        )
+        transport.on(
+            CatchUpReply, lambda src, msg: catch_up_replies.put_nowait(msg)
+        )
+
+    conn.send(
+        ("port", node_id, transport.port, report.as_dict() if report else None)
+    )
     peers = await loop.run_in_executor(None, conn.recv)
     transport.connect(peers)
     conn.send(("ready", node_id))
+
+    if store is not None:
+        recovered = report is not None and (
+            report.had_snapshot or report.replayed > 0
+        )
+        imported = 0
+        if recovered and n > 1:
+            imported = await _run_catch_up(
+                replica,
+                transport,
+                catch_up_replies,
+                [peer for peer in range(n) if peer != node_id],
+            )
+        # Relaunch *after* catch-up: batches that did complete at the
+        # peers arrived via import (popping them from the pending set),
+        # so only genuinely undelivered batches are rebroadcast.
+        relaunched = replica.relaunch_pending()
+        conn.send(
+            (
+                "caught_up",
+                node_id,
+                {
+                    "recovery": report.as_dict(),
+                    "imported": imported,
+                    "relaunched": len(relaunched),
+                },
+            )
+        )
+
     await stop.wait()
     await transport.close()
+    if store is not None:
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Replica process management (parent)
+# ---------------------------------------------------------------------------
+class _ClusterProcs:
+    """Spawns, SIGKILLs, and restarts the replica processes."""
+
+    def __init__(self, ctx, args, secret: bytes, wal_dir: Optional[str]) -> None:
+        self.ctx = ctx
+        self.args = args
+        self.secret = secret
+        self.wal_dir = wal_dir
+        self.procs: Dict[int, Any] = {}
+        self.conns: Dict[int, Any] = {}
+        self.ports: Dict[int, int] = {}
+        self.peer_map: Dict[int, Tuple[str, int]] = {}
+        #: Replicas deliberately killed by the fault schedule: exempt
+        #: from the watchdog until restarted.
+        self.down: set = set()
+
+    def spawn(self, node_id: int, port: int = 0):
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_replica_main,
+            args=(
+                self.args.system,
+                self.args.n,
+                node_id,
+                child_conn,
+                self.secret,
+                self.args.seed,
+                port,
+                self.wal_dir,
+                getattr(self.args, "snapshot_every", None),
+                getattr(self.args, "fingerprint_every", None),
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self.procs[node_id] = proc
+        self.conns[node_id] = parent_conn
+        return parent_conn
+
+    def spawn_all(self) -> None:
+        for node_id in range(self.args.n):
+            self.spawn(node_id)
+
+    async def handshake(self, node_id: int, loop) -> Optional[Dict[str, Any]]:
+        """Read the child's port announcement; returns its recovery report."""
+        conn = self.conns[node_id]
+        message = await loop.run_in_executor(None, conn.recv)
+        if message[0] == "failed":
+            raise ReplicaProcessError(
+                f"replica {node_id} failed to start: {message[2]}"
+            )
+        assert message[0] == "port"
+        self.ports[node_id] = message[2]
+        return message[3]
+
+    async def finish_boot(self, node_id: int, loop) -> None:
+        conn = self.conns[node_id]
+        conn.send(self.peer_map)
+        message = await loop.run_in_executor(None, conn.recv)
+        assert message[0] == "ready"
+
+    async def wait_caught_up(self, node_id: int, loop) -> Dict[str, Any]:
+        conn = self.conns[node_id]
+        message = await loop.run_in_executor(None, conn.recv)
+        assert message[0] == "caught_up"
+        return message[2]
+
+    def kill(self, node_id: int) -> None:
+        """SIGKILL — no flush, no goodbye; recovery must come from the WAL."""
+        self.down.add(node_id)
+        self.procs[node_id].kill()
+
+    async def restart(self, node_id: int, loop) -> Optional[Dict[str, Any]]:
+        """Respawn on the same port; returns the child's recovery report."""
+        self.spawn(node_id, port=self.ports[node_id])
+        self.down.discard(node_id)
+        recovery = await self.handshake(node_id, loop)
+        await self.finish_boot(node_id, loop)
+        return recovery
+
+    def poll_unexpected(self) -> None:
+        """Fail fast when a replica process dies outside the fault plan."""
+        for node_id, proc in self.procs.items():
+            if node_id in self.down:
+                continue
+            if proc.exitcode is not None:
+                raise ReplicaProcessError(
+                    f"replica {node_id} exited unexpectedly "
+                    f"(exitcode {proc.exitcode})"
+                )
+
+    def shutdown(self) -> None:
+        for proc in self.procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    def terminate(self) -> None:
+        for proc in self.procs.values():
+            if proc.is_alive():  # pragma: no cover - crash cleanup
+                proc.terminate()
 
 
 # ---------------------------------------------------------------------------
@@ -215,24 +552,43 @@ class _LoadGen:
         genesis: Dict[str, int],
     ) -> None:
         from ..core.messages import ClientConfirm
+        from .chaos import StateSnapshotReply
 
         self.transport = transport
         self.n = n
         self.clients = sorted(genesis, key=repr)
         self.rep_map = _build_directory(n, list(genesis)).rep_map
-        self._next_seq: Dict[str, int] = {}
+        self._stream = payment_stream(self.clients)
         self._sent_at: Dict[tuple, float] = {}
+        #: identifier -> Payment, for every submitted-but-unconfirmed
+        #: payment (retried during chaos drains).
+        self._pending: Dict[tuple, Any] = {}
         self.submitted = 0
         self.confirmed = 0
+        self.retries = 0
+        #: Confirms for already-confirmed identifiers (a recovered
+        #: replica re-settling relaunched batches produces these).
+        self.duplicate_confirms = 0
         self.latencies: List[float] = []
         self._stats_waiters: Dict[int, Tuple[asyncio.Event, Dict[int, StatsReply]]] = {}
         self._stats_tag = 0
+        self._snap_waiters: Dict[int, Tuple[asyncio.Event, Dict[int, Any]]] = {}
+        self._snap_tag = 0
         transport.on(ClientConfirm, self._on_confirm)
         transport.on(StatsReply, self._on_stats_reply)
+        transport.on(StateSnapshotReply, self._on_snapshot_reply)
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
 
     def _on_confirm(self, src: int, message) -> None:
+        identifier = message.payment.identifier
+        if self._pending.pop(identifier, None) is None:
+            self.duplicate_confirms += 1
+            return
         self.confirmed += 1
-        sent = self._sent_at.pop(message.payment.identifier, None)
+        sent = self._sent_at.pop(identifier, None)
         if sent is not None:
             self.latencies.append(self.transport.clock.now - sent)
 
@@ -245,10 +601,17 @@ class _LoadGen:
         if len(replies) == self.n:
             event.set()
 
+    def _on_snapshot_reply(self, src: int, message) -> None:
+        waiter = self._snap_waiters.get(message.tag)
+        if waiter is None:
+            return
+        event, replies = waiter
+        replies[message.node_id] = message
+        if len(replies) == self.n:
+            event.set()
+
     async def collect_stats(self, timeout: float = 5.0) -> Dict[int, StatsReply]:
         """Snapshot every replica's settled counter (waits for all N)."""
-        from ..core.messages import ClientSubmit  # noqa: F401  (keep import local)
-
         self._stats_tag += 1
         tag = self._stats_tag
         event = asyncio.Event()
@@ -263,32 +626,76 @@ class _LoadGen:
         self._stats_waiters.pop(tag, None)
         return replies
 
+    async def collect_snapshots(self, timeout: float = 2.0) -> Dict[int, Any]:
+        """Ask every replica for a state view; returns whoever answered.
+
+        A crashed replica simply does not answer — its monitor view
+        stays frozen, which is exactly the invariant contract for
+        crashed-but-correct replicas.
+        """
+        from .chaos import StateSnapshotRequest
+
+        self._snap_tag += 1
+        tag = self._snap_tag
+        event = asyncio.Event()
+        replies: Dict[int, Any] = {}
+        self._snap_waiters[tag] = (event, replies)
+        for node_id in range(self.n):
+            self.transport.send(node_id, StateSnapshotRequest(tag))
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        self._snap_waiters.pop(tag, None)
+        return replies
+
+    def retry_pending(self) -> int:
+        """Resubmit every unconfirmed payment to its representative.
+
+        Safe against duplicates: a representative that already accepted
+        (or already settled) the same ``(spender, seq)`` drops the
+        resubmission via its accepted-sequence guard, which crash
+        recovery rebuilds conservatively.
+        """
+        from ..core.messages import ClientSubmit
+
+        for payment in list(self._pending.values()):
+            self.transport.send(
+                self.rep_map[payment.spender], ClientSubmit(payment)
+            )
+            self.retries += 1
+        return len(self._pending)
+
+    async def drain(self, timeout: float, retry_interval: float) -> bool:
+        """Wait (with periodic retries) until every payment confirmed."""
+        clock = self.transport.clock
+        deadline = clock.now + timeout
+        next_retry = clock.now + retry_interval
+        while self._pending and clock.now < deadline:
+            await asyncio.sleep(0.05)
+            if self._pending and clock.now >= next_retry:
+                self.retry_pending()
+                next_retry = clock.now + retry_interval
+        return not self._pending
+
     async def run(self, rate: float, duration: float) -> None:
         """Submit ``rate`` payments/s for ``duration`` seconds."""
         from ..core.messages import ClientSubmit
-        from ..core.payment import Payment
 
-        clients = self.clients
-        num = len(clients)
         rep_map = self.rep_map
         clock = self.transport.clock
         deadline = clock.now + duration
         carry = 0.0
-        index = 0
         while clock.now < deadline:
             carry += rate * self.TICK
             burst = int(carry)
             carry -= burst
             for _ in range(burst):
-                spender = clients[index % num]
-                beneficiary = clients[(index + 1) % num]
-                index += 1
-                seq = self._next_seq.get(spender, 0) + 1
-                self._next_seq[spender] = seq
-                payment = Payment(spender, seq, beneficiary, 1)
+                payment = next(self._stream)
                 self._sent_at[payment.identifier] = clock.now
+                self._pending[payment.identifier] = payment
                 self.transport.send(
-                    rep_map[spender], ClientSubmit(payment)
+                    rep_map[payment.spender], ClientSubmit(payment)
                 )
                 self.submitted += 1
             await asyncio.sleep(self.TICK)
@@ -302,39 +709,15 @@ def _percentile(values: List[float], fraction: float) -> Optional[float]:
     return ordered[rank]
 
 
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e3, 2)
+
+
 # ---------------------------------------------------------------------------
 # Orchestration
 # ---------------------------------------------------------------------------
-async def _orchestrate(
-    args, procs: List, conns: List, secret: bytes
-) -> Dict[str, Any]:
-    loop = asyncio.get_running_loop()
-    transport = TcpTransport(args.n, secret, clock=RealTimeClock(loop))
-    await transport.start()
-    genesis = default_genesis(args.n)
-    loadgen = _LoadGen(transport, args.system, args.n, genesis)
-
-    ports: Dict[int, int] = {}
-    for conn in conns:
-        kind, node_id, port = await loop.run_in_executor(None, conn.recv)
-        assert kind == "port"
-        ports[node_id] = port
-    peer_map = {
-        node_id: ("127.0.0.1", port) for node_id, port in ports.items()
-    }
-    peer_map[args.n] = ("127.0.0.1", transport.port)
-    for conn in conns:
-        conn.send(peer_map)
-    for conn in conns:
-        kind, _node_id = await loop.run_in_executor(None, conn.recv)
-        assert kind == "ready"
-    transport.connect(peer_map)
-
-    print(
-        f"[cluster] {args.system} n={args.n}: replicas on ports "
-        f"{[ports[i] for i in sorted(ports)]}, loadgen on {transport.port}"
-    )
-
+async def _run_bench(args, cluster, transport, loadgen, loop) -> Dict[str, Any]:
+    """The steady-state throughput measurement (``BENCH_live.json``)."""
     wall_start = time.monotonic()
     # Warmup: bring connections up and fill the batching pipeline.
     await loadgen.run(args.rate, args.warmup)
@@ -346,16 +729,6 @@ async def _orchestrate(
     # Grace: let in-flight batches/credits settle before the final count.
     await asyncio.sleep(args.grace)
     final = await loadgen.collect_stats()
-
-    for node_id in range(args.n):
-        transport.send(node_id, Shutdown())
-    await asyncio.sleep(0.2)
-    await transport.close()
-    for proc in procs:
-        proc.join(timeout=5.0)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join(timeout=2.0)
 
     deltas = {
         node_id: after[node_id].settled - before[node_id].settled
@@ -398,8 +771,212 @@ async def _orchestrate(
     }
 
 
-def _ms(seconds: Optional[float]) -> Optional[float]:
-    return None if seconds is None else round(seconds * 1e3, 2)
+async def _run_chaos(args, cluster, transport, loadgen, loop) -> Dict[str, Any]:
+    """Drive the fault timeline against the live cluster
+    (``BENCH_chaos.json``)."""
+    from ..adversary.monitor import InvariantMonitor
+    from .chaos import (
+        LiveFaultInjector,
+        LiveMonitorFeed,
+        apply_timeline,
+        parse_timeline,
+    )
+
+    events = parse_timeline(args.chaos)
+    genesis = default_genesis(args.n)
+    directory = _build_directory(args.n, list(genesis))
+    feed = LiveMonitorFeed(
+        range(args.n), genesis, directory, deps=args.system == "astro2"
+    )
+    # dep_grace=1: live views are captured milliseconds apart, so a
+    # freshly materialized dependency may precede its crediting payment
+    # in a settler's view by one sample.
+    monitor = InvariantMonitor(
+        feed, interval=args.monitor_interval, autostart=False, dep_grace=1
+    )
+
+    recoveries: Dict[int, Dict[str, Any]] = {}
+    recovery_tasks: List[asyncio.Task] = []
+    t0 = loop.time()  # rebound after warmup, before the injector runs
+
+    def crash_fn(node_id: int) -> None:
+        print(f"[chaos] t={loop.time() - t0:.2f}s SIGKILL replica {node_id}")
+        cluster.kill(node_id)
+
+    async def recover_fn(node_id: int) -> None:
+        started = loop.time()
+        print(f"[chaos] t={started - t0:.2f}s restarting replica {node_id}")
+        recovery = await cluster.restart(node_id, loop)
+        entry = recoveries.setdefault(node_id, {})
+        entry["recovery"] = recovery
+        entry["restart_s"] = round(loop.time() - started, 3)
+
+        async def _await_catch_up() -> None:
+            info = await cluster.wait_caught_up(node_id, loop)
+            entry.update(info)
+            entry["recovery_latency_s"] = round(loop.time() - started, 3)
+            print(
+                f"[chaos] replica {node_id} caught up in "
+                f"{entry['recovery_latency_s']}s "
+                f"(replayed {info['recovery']['replayed']}, "
+                f"imported {info['imported']}, "
+                f"relaunched {info['relaunched']})"
+            )
+
+        recovery_tasks.append(asyncio.ensure_future(_await_catch_up()))
+
+    def link_fn(node_id: int, fault) -> None:
+        transport.send(node_id, fault)
+
+    injector = LiveFaultInjector(crash_fn, recover_fn, link_fn, range(args.n))
+    apply_timeline(injector, events)
+
+    wall_start = time.monotonic()
+    await loadgen.run(args.rate, args.warmup)
+    t0 = loop.time()
+    chaos_task = asyncio.ensure_future(injector.run(t0))
+
+    monitor_stop = asyncio.Event()
+
+    async def monitor_loop() -> None:
+        while not monitor_stop.is_set():
+            replies = await loadgen.collect_snapshots(
+                timeout=args.monitor_interval * 0.5
+            )
+            now = loop.time() - t0
+            for reply in replies.values():
+                feed.update(reply, now)
+            monitor.sample(now=now)
+            await asyncio.sleep(args.monitor_interval)
+
+    monitor_task = asyncio.ensure_future(monitor_loop())
+
+    await loadgen.run(args.rate, args.duration)
+    await chaos_task  # the full fault schedule has executed
+    if recovery_tasks:
+        await asyncio.wait(recovery_tasks, timeout=args.drain_timeout)
+    drained = await loadgen.drain(args.drain_timeout, args.retry_interval)
+
+    monitor_stop.set()
+    await monitor_task
+
+    # Final verdict round: settled counters, state fingerprints on every
+    # replica (the recovered one must match the never-crashed controls),
+    # one last invariant sample over the final views.
+    final_stats = await loadgen.collect_stats()
+    final_snaps = await loadgen.collect_snapshots(timeout=5.0)
+    now = loop.time() - t0
+    for reply in final_snaps.values():
+        feed.update(reply, now)
+    monitor.sample(now=now)
+    fingerprints = {
+        node_id: reply.view["fingerprint"]
+        for node_id, reply in sorted(final_snaps.items())
+    }
+    fingerprints_equal = (
+        len(fingerprints) == args.n and len(set(fingerprints.values())) == 1
+    )
+    verdict = monitor.verdict()
+    ok = drained and verdict["ok"] and fingerprints_equal
+    return {
+        "system": args.system,
+        "n": args.n,
+        "transport": "tcp-localhost",
+        "mode": "chaos",
+        "timeline": args.chaos,
+        "wal_dir": cluster.wal_dir,
+        "offered_pps": args.rate,
+        "warmup_s": args.warmup,
+        "duration_s": args.duration,
+        "submitted": loadgen.submitted,
+        "confirmed": loadgen.confirmed,
+        "retries": loadgen.retries,
+        "duplicate_confirms": loadgen.duplicate_confirms,
+        "unconfirmed": loadgen.pending,
+        "drained": drained,
+        "settled_final_by_replica": {
+            str(k): final_stats[k].settled for k in sorted(final_stats)
+        },
+        "rejected_final": {
+            str(k): final_stats[k].rejected for k in sorted(final_stats)
+        },
+        "fingerprints": {str(k): v for k, v in fingerprints.items()},
+        "fingerprints_equal": fingerprints_equal,
+        "monitor": verdict,
+        "recoveries": {str(k): v for k, v in sorted(recoveries.items())},
+        "injected": [
+            [round(t, 3), action, payload]
+            for t, action, payload in injector.log
+        ],
+        "confirm_latency_ms": {
+            "p50": _ms(_percentile(loadgen.latencies, 0.50)),
+            "p95": _ms(_percentile(loadgen.latencies, 0.95)),
+        },
+        "ok": ok,
+        "wall_elapsed_s": round(time.monotonic() - wall_start, 3),
+    }
+
+
+async def _orchestrate(args, cluster: _ClusterProcs) -> Dict[str, Any]:
+    loop = asyncio.get_running_loop()
+    transport = TcpTransport(args.n, cluster.secret, clock=RealTimeClock(loop))
+    await transport.start()
+    genesis = default_genesis(args.n)
+    loadgen = _LoadGen(transport, args.system, args.n, genesis)
+
+    for node_id in range(args.n):
+        await cluster.handshake(node_id, loop)
+    cluster.peer_map = {
+        node_id: ("127.0.0.1", port) for node_id, port in cluster.ports.items()
+    }
+    cluster.peer_map[args.n] = ("127.0.0.1", transport.port)
+    for node_id in range(args.n):
+        await cluster.finish_boot(node_id, loop)
+    if cluster.wal_dir is not None:
+        # First boot with persistence: every child reports an (empty)
+        # recovery before load starts.
+        for node_id in range(args.n):
+            await cluster.wait_caught_up(node_id, loop)
+    transport.connect(cluster.peer_map)
+
+    print(
+        f"[cluster] {args.system} n={args.n}: replicas on ports "
+        f"{[cluster.ports[i] for i in sorted(cluster.ports)]}, "
+        f"loadgen on {transport.port}"
+        + (f", wal in {cluster.wal_dir}" if cluster.wal_dir else "")
+    )
+
+    async def watchdog() -> None:
+        while True:
+            cluster.poll_unexpected()
+            await asyncio.sleep(0.25)
+
+    chaos = bool(getattr(args, "chaos", None))
+    runner = _run_chaos if chaos else _run_bench
+    main_task = asyncio.ensure_future(
+        runner(args, cluster, transport, loadgen, loop)
+    )
+    watchdog_task = asyncio.ensure_future(watchdog())
+    done, _pending = await asyncio.wait(
+        {main_task, watchdog_task}, return_when=asyncio.FIRST_COMPLETED
+    )
+    if watchdog_task in done:
+        # Only an unexpected replica death completes the watchdog.
+        main_task.cancel()
+        await asyncio.gather(main_task, return_exceptions=True)
+        await transport.close()
+        raise watchdog_task.exception()
+    watchdog_task.cancel()
+    await asyncio.gather(watchdog_task, return_exceptions=True)
+    report = main_task.result()
+
+    for node_id in range(args.n):
+        if node_id not in cluster.down:
+            transport.send(node_id, Shutdown())
+    await asyncio.sleep(0.2)
+    await transport.close()
+    cluster.shutdown()
+    return report
 
 
 def run_cluster(args) -> Dict[str, Any]:
@@ -413,24 +990,17 @@ def run_cluster(args) -> Dict[str, Any]:
         os.environ.setdefault("PYTHONHASHSEED", "0")
         ctx = multiprocessing.get_context("spawn")
     secret = args.secret.encode() if isinstance(args.secret, str) else args.secret
-    procs = []
-    conns = []
-    for node_id in range(args.n):
-        parent_conn, child_conn = ctx.Pipe()
-        proc = ctx.Process(
-            target=_replica_main,
-            args=(args.system, args.n, node_id, child_conn, secret, args.seed),
-            daemon=True,
-        )
-        proc.start()
-        procs.append(proc)
-        conns.append(parent_conn)
+    wal_dir = getattr(args, "wal_dir", None)
+    if getattr(args, "chaos", None) and wal_dir is None:
+        wal_dir = tempfile.mkdtemp(prefix="astro-wal-")
+    if wal_dir is not None:
+        os.makedirs(wal_dir, exist_ok=True)
+    cluster = _ClusterProcs(ctx, args, secret, wal_dir)
+    cluster.spawn_all()
     try:
-        return asyncio.run(_orchestrate(args, procs, conns, secret))
+        return asyncio.run(_orchestrate(args, cluster))
     finally:
-        for proc in procs:
-            if proc.is_alive():  # pragma: no cover - crash cleanup
-                proc.terminate()
+        cluster.terminate()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -461,15 +1031,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="shared cluster secret for the transport handshake",
     )
     parser.add_argument(
-        "--out", default="BENCH_live.json", help="report output path"
+        "--chaos", default=None, metavar="TIMELINE",
+        help="fault timeline, e.g. 'crash:1@5;recover:1@10' "
+             "(see repro.transport.chaos)",
+    )
+    parser.add_argument(
+        "--wal-dir", default=None,
+        help="directory for per-replica WALs/snapshots (enables durable "
+             "state; defaults to a temp dir when --chaos is given)",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=None,
+        help="WAL records between snapshots (default: persistence module)",
+    )
+    parser.add_argument(
+        "--fingerprint-every", type=int, default=None,
+        help="WAL records between fingerprint self-checks",
+    )
+    parser.add_argument(
+        "--monitor-interval", type=float, default=1.0,
+        help="seconds between invariant-monitor samples (chaos mode)",
+    )
+    parser.add_argument(
+        "--retry-interval", type=float, default=1.0,
+        help="seconds between resubmissions of unconfirmed payments",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="max seconds to wait for full settlement after the load",
+    )
+    parser.add_argument(
+        "--out", default=None, help="report output path "
+        "(default: BENCH_chaos.json with --chaos, else BENCH_live.json)",
     )
     args = parser.parse_args(argv)
+    out = args.out or ("BENCH_chaos.json" if args.chaos else "BENCH_live.json")
     report = run_cluster(args)
-    with open(args.out, "w") as handle:
+    with open(out, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
-    print(f"[cluster] wrote {args.out}")
+    print(f"[cluster] wrote {out}")
     print(json.dumps(report, indent=2))
+    if args.chaos:
+        return 0 if report["ok"] else 1
     return 0 if report["measured_pps"] > 0 else 1
 
 

@@ -33,6 +33,7 @@ import asyncio
 import hashlib
 import hmac
 import os
+import random
 import struct
 from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple, Type
 
@@ -50,6 +51,12 @@ _ID = struct.Struct(">I")
 #: Reconnect backoff: first retry after INITIAL, doubling to CAP.
 RECONNECT_INITIAL = 0.05
 RECONNECT_CAP = 2.0
+
+#: Per-peer outbound queue bound, in frames.  A permanently dead peer
+#: must not grow memory without limit; on overflow the *oldest* frame is
+#: dropped (the protocols tolerate loss to faulty peers, and newer
+#: frames are the ones a recovering peer can still use).
+OUTBOUND_QUEUE_FRAMES = 4096
 
 #: Receiver read chunk.
 _READ_CHUNK = 1 << 16
@@ -79,6 +86,10 @@ class TransportStats:
         self.stream_errors = 0
         self.handshake_failures = 0
         self.handler_errors = 0
+        #: Frames evicted from full per-peer outbound queues.
+        self.queue_dropped = 0
+        #: Frames discarded by injected link faults (chaos harness).
+        self.fault_dropped = 0
 
 
 class TcpTransport:
@@ -91,6 +102,9 @@ class TcpTransport:
         clock: Optional[RealTimeClock] = None,
         host: str = "127.0.0.1",
         max_frame: int = MAX_FRAME_BYTES,
+        max_queue: int = OUTBOUND_QUEUE_FRAMES,
+        reconnect_initial: float = RECONNECT_INITIAL,
+        reconnect_cap: float = RECONNECT_CAP,
     ) -> None:
         self.node_id = node_id
         self.secret = secret
@@ -98,6 +112,9 @@ class TcpTransport:
         self.host = host
         self.port: Optional[int] = None
         self.max_frame = max_frame
+        self.max_queue = max_queue
+        self.reconnect_initial = reconnect_initial
+        self.reconnect_cap = reconnect_cap
         self.stats = TransportStats()
         self._handlers: Dict[Type[Any], Callable[[int, Any], None]] = {}
         self._peers: Dict[int, Tuple[str, int]] = {}
@@ -106,6 +123,16 @@ class TcpTransport:
         self._receiver_tasks: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._closed = False
+        #: Per-peer frames evicted on queue overflow (observability).
+        self.dropped_by_peer: Dict[int, int] = {}
+        #: Per-peer current reconnect backoff (tests/observability).
+        self.backoff_by_peer: Dict[int, float] = {}
+        #: Injected egress shaping per destination (chaos harness):
+        #: dst -> (block, drop_probability, extra_delay_seconds).
+        self._link_faults: Dict[int, Tuple[bool, float, float]] = {}
+        #: Deterministic per-node RNG for probabilistic frame drops, so a
+        #: chaos run's drop pattern is reproducible for a given topology.
+        self._fault_rng = random.Random(node_id * 7919 + 17)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,7 +156,7 @@ class TcpTransport:
                 self._peers.setdefault(dst, address)
                 continue
             self._peers[dst] = address
-            self._queues[dst] = asyncio.Queue()
+            self._queues[dst] = asyncio.Queue(maxsize=self.max_queue)
             self._sender_tasks[dst] = loop.create_task(self._sender(dst))
 
     async def close(self) -> None:
@@ -192,7 +219,19 @@ class TcpTransport:
         except FrameError:
             self.stats.frames_dropped += 1
             return
-        queue.put_nowait(frame)
+        try:
+            queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            # Bounded backlog: evict the oldest frame (message loss the
+            # protocols already tolerate) rather than grow without limit
+            # against a dead peer.
+            try:
+                queue.get_nowait()
+            except asyncio.QueueEmpty:  # pragma: no cover - racing sender
+                pass
+            self.stats.queue_dropped += 1
+            self.dropped_by_peer[dst] = self.dropped_by_peer.get(dst, 0) + 1
+            queue.put_nowait(frame)
 
     def send_all(
         self,
@@ -287,7 +326,8 @@ class TcpTransport:
 
     async def _sender(self, dst: int) -> None:
         queue = self._queues[dst]
-        backoff = RECONNECT_INITIAL
+        backoff = self.reconnect_initial
+        self.backoff_by_peer[dst] = backoff
         writer: Optional[asyncio.StreamWriter] = None
         connected_once = False
         try:
@@ -300,14 +340,26 @@ class TcpTransport:
                             self.stats.handshake_failures += 1
                         self.stats.connect_failures += 1
                         await asyncio.sleep(backoff)
-                        backoff = min(backoff * 2, RECONNECT_CAP)
+                        backoff = min(backoff * 2, self.reconnect_cap)
+                        self.backoff_by_peer[dst] = backoff
                         continue
                     self.stats.connects += 1
                     if connected_once:
                         self.stats.reconnects += 1
                     connected_once = True
-                    backoff = RECONNECT_INITIAL
+                    backoff = self.reconnect_initial
+                    self.backoff_by_peer[dst] = backoff
                 frame = await queue.get()
+                fault = self._link_faults.get(dst)
+                if fault is not None:
+                    block, drop, delay = fault
+                    if block or (drop > 0.0 and self._fault_rng.random() < drop):
+                        # Partition / probabilistic loss: discard like the
+                        # simulator Network drops partitioned messages.
+                        self.stats.fault_dropped += 1
+                        continue
+                    if delay > 0.0:
+                        await asyncio.sleep(delay)
                 try:
                     writer.write(frame)
                     await writer.drain()
@@ -324,6 +376,27 @@ class TcpTransport:
         finally:
             if writer is not None:
                 writer.close()
+
+    # ------------------------------------------------------------------
+    # Link-fault injection (chaos harness)
+    # ------------------------------------------------------------------
+    def set_link_fault(
+        self, dst: int, block: bool = False, drop: float = 0.0, delay: float = 0.0
+    ) -> None:
+        """Shape egress toward ``dst``: drop all (partition), drop a
+        fraction, or add fixed delay — applied at the sender task, after
+        queueing, so ordering within the surviving frames is preserved."""
+        self._link_faults[dst] = (block, drop, delay)
+
+    def clear_link_fault(self, dst: int) -> None:
+        self._link_faults.pop(dst, None)
+
+    def clear_link_faults(self) -> None:
+        self._link_faults.clear()
+
+    def queue_depth(self, dst: int) -> int:
+        queue = self._queues.get(dst)
+        return 0 if queue is None else queue.qsize()
 
     # ------------------------------------------------------------------
     # Inbound: acceptor, handshake, frame pump

@@ -1,0 +1,445 @@
+"""Chaos harness: timeline grammar, injectors, link faults, monitor feed.
+
+The point of the harness is that ONE timeline spec drives both backends:
+:func:`apply_timeline` schedules the same events on the simulator's
+``FaultInjector`` and on a :class:`LiveFaultInjector` wired to process
+kill/restart callables.  These tests pin the grammar, both injectors'
+logs, TCP-level link-fault shaping, and the live adapter that feeds the
+invariant monitor replica snapshots instead of simulator objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.adversary.monitor import InvariantMonitor
+from repro.bench.systems import SYSTEM_BUILDERS, client_ids_of
+from repro.core.payment import Payment
+from repro.core.persistence import state_fingerprint
+from repro.sim.events import Simulator
+from repro.sim.faults import FaultInjector
+from repro.sim.latency import europe_wan
+from repro.sim.network import Network
+from repro.transport.chaos import (
+    FaultEvent,
+    LinkFault,
+    LiveFaultInjector,
+    LiveMonitorFeed,
+    StateSnapshotReply,
+    apply_link_fault,
+    apply_timeline,
+    parse_timeline,
+    replica_state_view,
+)
+from repro.transport.cluster import ReplicaProcessError, _ClusterProcs
+from repro.transport.tcp import TcpTransport
+
+SECRET = b"chaos-test-secret"
+
+
+class Ping:
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __reduce__(self):
+        return (Ping, (self.value,))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ping) and other.value == self.value
+
+
+async def wait_for(predicate, timeout: float = 5.0, interval: float = 0.01):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            pytest.fail("condition not reached within timeout")
+        await asyncio.sleep(interval)
+
+
+async def make_pair():
+    a = TcpTransport(0, SECRET)
+    b = TcpTransport(1, SECRET)
+    pa, pb = await a.start(), await b.start()
+    peers = {0: ("127.0.0.1", pa), 1: ("127.0.0.1", pb)}
+    a.connect(peers)
+    b.connect(peers)
+    return a, b
+
+
+def collect(transport: TcpTransport) -> List[Any]:
+    inbox: List[Any] = []
+    transport.on(Ping, lambda src, msg: inbox.append((src, msg)))
+    return inbox
+
+
+# ---------------------------------------------------------------------------
+# Timeline grammar
+# ---------------------------------------------------------------------------
+def test_parse_timeline_full_grammar():
+    events = parse_timeline(
+        "recover:1@10; crash:1@5;delay:2x0.05@3;drop:2x0.3@3;"
+        "partition:0,1|2,3@4;heal@8"
+    )
+    assert events == [
+        FaultEvent(3.0, "delay", (2, 0.05)),
+        FaultEvent(3.0, "drop", (2, 0.3)),
+        FaultEvent(4.0, "partition", ((0, 1), (2, 3))),
+        FaultEvent(5.0, "crash", (1,)),
+        FaultEvent(8.0, "heal", ()),
+        FaultEvent(10.0, "recover", (1,)),
+    ]
+
+
+def test_parse_timeline_ignores_empty_chunks():
+    assert parse_timeline("") == []
+    assert parse_timeline(" ; crash:0@1 ; ") == [FaultEvent(1.0, "crash", (0,))]
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash:1",  # no @time
+        "delay:2@3",  # missing 'x' separator
+        "partition:0,1@4",  # missing '|'
+        "reboot:1@5",  # unknown action
+        "crash:x@5",  # non-integer node
+    ],
+)
+def test_parse_timeline_rejects_malformed(spec):
+    with pytest.raises(ValueError):
+        parse_timeline(spec)
+
+
+# ---------------------------------------------------------------------------
+# apply_timeline on the simulator injector
+# ---------------------------------------------------------------------------
+def _sim_injector() -> FaultInjector:
+    sim = Simulator()
+    network = Network(sim, europe_wan(8, seed=0))
+    return FaultInjector(sim, network)
+
+
+def test_apply_timeline_drives_sim_injector():
+    injector = _sim_injector()
+    apply_timeline(
+        injector,
+        parse_timeline("crash:1@0.5;delay:2x0.1@1.0;recover:1@1.5;heal@2.0"),
+    )
+    injector.sim.run(until=3.0)
+    assert injector.log == [
+        (0.5, "crash", 1),
+        (1.0, "delay", (2, 0.1)),
+        (1.5, "recover", 1),
+        (2.0, "heal", None),
+    ]
+
+
+def test_drop_is_live_only():
+    """The sim injector has no probabilistic loss; the spec must say so."""
+    with pytest.raises(ValueError, match="does not support"):
+        apply_timeline(_sim_injector(), parse_timeline("drop:1x0.5@1"))
+
+
+# ---------------------------------------------------------------------------
+# LiveFaultInjector
+# ---------------------------------------------------------------------------
+def test_live_injector_executes_schedule():
+    crashed: List[int] = []
+    recovered: List[int] = []
+    shipped: List[Any] = []
+
+    async def recover_fn(node_id: int) -> None:  # coroutine fault fn
+        recovered.append(node_id)
+
+    injector = LiveFaultInjector(
+        crash_fn=crashed.append,
+        recover_fn=recover_fn,
+        link_fn=lambda node_id, fault: shipped.append((node_id, fault)),
+        replica_ids=[0, 1, 2, 3],
+    )
+    apply_timeline(
+        injector,
+        parse_timeline(
+            "crash:1@0.01;delay:2x0.05@0.02;drop:3x0.25@0.03;"
+            "partition:0,1|2,3@0.04;recover:1@0.05;heal@0.06"
+        ),
+    )
+
+    async def scenario():
+        await injector.run(asyncio.get_running_loop().time())
+
+    asyncio.run(scenario())
+
+    assert crashed == [1]
+    assert recovered == [1]
+    assert [action for _, action, _ in injector.log] == [
+        "crash", "delay", "drop", "partition", "recover", "heal",
+    ]
+    delay_order = shipped[0]
+    assert delay_order[0] == 2 and delay_order[1].delay == 0.05
+    drop_order = shipped[1]
+    assert drop_order[0] == 3 and drop_order[1].drop == 0.25
+    # Partition ships a block order to every member of both groups.
+    partition_orders = shipped[2:6]
+    assert {(n, f.targets) for n, f in partition_orders} == {
+        (0, (2, 3)), (1, (2, 3)), (2, (0, 1)), (3, (0, 1)),
+    }
+    assert all(f.block for _, f in partition_orders)
+    # Heal clears shaping on every replica.
+    heal_orders = shipped[6:]
+    assert [n for n, _ in heal_orders] == [0, 1, 2, 3]
+    assert all(f.clear for _, f in heal_orders)
+
+
+def test_live_injector_rejects_overlapping_partition():
+    injector = LiveFaultInjector(
+        crash_fn=lambda n: None,
+        recover_fn=lambda n: None,
+        link_fn=lambda n, f: None,
+        replica_ids=[0, 1, 2],
+    )
+    with pytest.raises(ValueError, match="disjoint"):
+        injector.partition([0, 1], [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# LinkFault shaping on a real transport pair
+# ---------------------------------------------------------------------------
+def test_link_fault_block_and_clear_on_tcp_pair():
+    async def scenario():
+        a, b = await make_pair()
+        inbox = collect(b)
+
+        a.send(1, Ping("before"))
+        await wait_for(lambda: len(inbox) == 1)
+
+        apply_link_fault(a, LinkFault((1,), block=True))
+        for value in range(5):
+            a.send(1, Ping(value))
+        await wait_for(lambda: a.stats.fault_dropped == 5)
+        assert len(inbox) == 1
+
+        apply_link_fault(a, LinkFault(None, clear=True))
+        a.send(1, Ping("after"))
+        await wait_for(lambda: len(inbox) == 2)
+        assert inbox[-1][1] == Ping("after")
+
+        await a.close()
+        await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_link_fault_all_peers_skips_self():
+    async def scenario():
+        a, b = await make_pair()
+        # targets=None expands to all known peers minus the sender.
+        apply_link_fault(a, LinkFault(None, block=True))
+        a.send(1, Ping("blocked"))
+        await wait_for(lambda: a.stats.fault_dropped == 1)
+        await a.close()
+        await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_link_fault_pickle_roundtrip():
+    fault = LinkFault((1, 2), block=True, drop=0.25, delay=0.05, clear=False)
+    clone = pickle.loads(pickle.dumps(fault))
+    assert (
+        clone.targets, clone.block, clone.drop, clone.delay, clone.clear
+    ) == ((1, 2), True, 0.25, 0.05, False)
+
+
+# ---------------------------------------------------------------------------
+# Live monitor feed: snapshots from a driven system
+# ---------------------------------------------------------------------------
+def _driven_astro2():
+    system = SYSTEM_BUILDERS["astro2"](4, seed=11)
+    clients = client_ids_of(system)
+    for index in range(16):
+        system.submit(clients[index % 16], clients[(index + 1) % 16], 2)
+    system.settle_all()
+    return system
+
+
+def test_live_feed_samples_real_snapshots_safe():
+    system = _driven_astro2()
+    feed = LiveMonitorFeed(
+        range(4), dict(system.genesis), system.directory, deps=True
+    )
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=1)
+    assert monitor.mode == "deps"
+
+    for round_no in (1, 2):
+        for replica in system.replicas:
+            reply = StateSnapshotReply(
+                round_no, replica.node_id, replica_state_view(replica)
+            )
+            feed.update(reply, now=float(round_no))
+        monitor.sample(now=float(round_no))
+    assert monitor.verdict()["ok"]
+    expected = {
+        r.node_id: state_fingerprint(r.state) for r in system.replicas
+    }
+    assert feed.fingerprints() == expected
+    # The wire round trip preserves the view verbatim.
+    view = replica_state_view(system.replicas[0])
+    assert pickle.loads(pickle.dumps(view))["fingerprint"] == (
+        view["fingerprint"]
+    )
+
+
+def test_live_feed_frozen_crashed_view_stays_safe():
+    """A crashed replica's view stops updating; old state must still pass."""
+    system = _driven_astro2()
+    feed = LiveMonitorFeed(
+        range(4), dict(system.genesis), system.directory, deps=True
+    )
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=1)
+    for replica in system.replicas:
+        feed.update(
+            StateSnapshotReply(1, replica.node_id, replica_state_view(replica)),
+            now=1.0,
+        )
+    monitor.sample(now=1.0)
+    # Replica 1 "crashes": rounds 2..4 only update the survivors.
+    for round_no in (2, 3, 4):
+        for replica in system.replicas:
+            if replica.node_id == 1:
+                continue
+            feed.update(
+                StateSnapshotReply(
+                    round_no, replica.node_id, replica_state_view(replica)
+                ),
+                now=float(round_no),
+            )
+        monitor.sample(now=float(round_no))
+    assert monitor.verdict()["ok"]
+
+
+def test_live_feed_flags_tampered_balance():
+    system = _driven_astro2()
+    feed = LiveMonitorFeed(
+        range(4), dict(system.genesis), system.directory, deps=True
+    )
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=1)
+    for replica in system.replicas:
+        view = replica_state_view(replica)
+        if replica.node_id == 2:
+            victim = next(iter(view["balances"]))
+            view["balances"][victim] = -5
+        feed.update(StateSnapshotReply(1, replica.node_id, view), now=1.0)
+    monitor.sample(now=1.0)
+    verdict = monitor.verdict()
+    assert not verdict["ok"]
+    assert any(
+        v["invariant"] == "non_negative" and v["replica"] == 2
+        for v in verdict["violations"]
+    )
+
+
+def test_atomic_mode_detected_without_deps():
+    feed = LiveMonitorFeed(range(4), {"a": 10}, None, deps=False)
+    monitor = InvariantMonitor(feed, autostart=False)
+    assert monitor.mode == "atomic"
+    monitor.sample(now=0.5)
+    assert monitor.verdict()["ok"]
+
+
+# ---------------------------------------------------------------------------
+# dep_grace: sampling skew between live captures
+# ---------------------------------------------------------------------------
+def _deps_feed() -> LiveMonitorFeed:
+    genesis = {"a": 100, "z": 100}
+    return LiveMonitorFeed(range(2), genesis, None, deps=True)
+
+
+def _settler_view(resolved_credit: bool) -> Dict[str, Any]:
+    """Replica 0 materialized ("z", 1) crediting 5 to client "a"."""
+    return {
+        "balances": {"a": 105 if resolved_credit else 100, "z": 100},
+        "seqnums": {},
+        "xlogs": {},
+        "used_deps": {"a": {("z", 1)}},
+        "settled": 0,
+        "fingerprint": "irrelevant",
+    }
+
+
+def _crediting_view() -> Dict[str, Any]:
+    """Replica 1 logged the payment z#1 that funds the dependency."""
+    return {
+        "balances": {"a": 100, "z": 95},
+        "seqnums": {"z": 1},
+        "xlogs": {"z": (Payment("z", 1, "a", 5),)},
+        "settled": 1,
+        "fingerprint": "irrelevant",
+        "used_deps": {},
+    }
+
+
+def test_dep_grace_absorbs_one_sample_of_skew():
+    feed = _deps_feed()
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=1)
+    # Round 1: the settler's capture arrived before the crediting
+    # replica's — the dependency looks unknown for exactly one sample.
+    feed.update(StateSnapshotReply(1, 0, _settler_view(True)), now=1.0)
+    monitor.sample(now=1.0)
+    assert monitor.verdict()["ok"]
+    # Round 2: the crediting payment shows up; the dependency resolves.
+    feed.update(StateSnapshotReply(2, 1, _crediting_view()), now=2.0)
+    monitor.sample(now=2.0)
+    monitor.sample(now=3.0)
+    assert monitor.verdict()["ok"]
+
+
+def test_dep_grace_still_flags_fabricated_certificates():
+    feed = _deps_feed()
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=1)
+    feed.update(StateSnapshotReply(1, 0, _settler_view(True)), now=1.0)
+    monitor.sample(now=1.0)
+    assert monitor.verdict()["ok"]  # within grace
+    monitor.sample(now=2.0)  # never resolves: flag it
+    verdict = monitor.verdict()
+    assert not verdict["ok"]
+    assert any(
+        v["invariant"] == "conservation" and "unknown_dep" in v
+        for v in verdict["violations"]
+    )
+
+
+def test_dep_grace_zero_keeps_simulator_strictness():
+    feed = _deps_feed()
+    monitor = InvariantMonitor(feed, autostart=False, dep_grace=0)
+    feed.update(StateSnapshotReply(1, 0, _settler_view(True)), now=1.0)
+    monitor.sample(now=1.0)
+    assert not monitor.verdict()["ok"]
+
+
+# ---------------------------------------------------------------------------
+# Watchdog: unexpected process death is a named, fail-fast error
+# ---------------------------------------------------------------------------
+class _FakeProc:
+    def __init__(self, exitcode):
+        self.exitcode = exitcode
+
+
+def test_poll_unexpected_names_the_dead_replica():
+    cluster = _ClusterProcs(None, None, b"", None)
+    cluster.procs = {0: _FakeProc(None), 1: _FakeProc(None), 2: _FakeProc(-9)}
+    with pytest.raises(ReplicaProcessError, match="replica 2 .*-9"):
+        cluster.poll_unexpected()
+
+
+def test_poll_unexpected_exempts_planned_kills():
+    cluster = _ClusterProcs(None, None, b"", None)
+    cluster.procs = {0: _FakeProc(None), 1: _FakeProc(-9)}
+    cluster.down = {1}
+    cluster.poll_unexpected()  # no raise: replica 1 is down on purpose
