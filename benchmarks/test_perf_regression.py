@@ -60,7 +60,6 @@ Override knobs (environment):
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
@@ -132,20 +131,13 @@ def _large_cell_run(system=LARGE_SYSTEM, n=LARGE_N, rate=LARGE_RATE,
 def _merge_perf_report(updates):
     """Merge keys into BENCH_perf.json (create if absent).
 
-    Every scenario in this file writes through here, so tests never
+    Every scenario in this file writes through
+    :func:`repro.bench.report.merge_perf_report`, so tests never
     truncate each other's sections regardless of execution order.
     """
-    path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
-    try:
-        with open(path) as fh:
-            report = json.load(fh)
-    except (OSError, ValueError):
-        report = {}
-    report.update(updates)
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    return path
+    from repro.bench.report import merge_perf_report
+
+    return merge_perf_report(updates)
 
 
 def _update_perf_report(key, payload):

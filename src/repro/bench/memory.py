@@ -1,0 +1,172 @@
+"""Resident memory of the account-state layer: dict vs array stores.
+
+``python -m repro.bench.memory`` builds a deployment's worth of replica
+account states (default: 4 replicas sharing one
+:class:`~repro.core.interning.ClientInterner`) over populations of
+10⁵–10⁶ clients and reports allocated bytes per account for
+
+* the legacy dict-of-objects store
+  (:class:`~repro.core.accounts.DictAccountState`), and
+* the array-backed store (:class:`~repro.core.accounts.AccountState`,
+  int64 slabs + interner, lazy sparse xlogs).
+
+Sizes come from :mod:`tracemalloc` — requested allocation sizes, not
+RSS, so numbers are stable across machines and allocator behavior.
+Results merge into ``BENCH_perf.json`` under ``"memory"``.
+
+``--check-max-bytes`` turns the run into a CI regression gate: the
+array store's bytes/account at every measured population must stay
+under the given ceiling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tracemalloc
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.accounts import AccountState, DictAccountState
+from ..core.interning import ClientInterner
+from ..workloads.uniform import uniform_genesis
+from .report import merge_perf_report, print_table
+
+__all__ = ["measure_bytes_per_account", "run_memory_cells", "main"]
+
+#: Deployment size of the measured replica group (Astro's N = 3f+1
+#: minimum); the interner is shared across the group, as in a system.
+DEFAULT_REPLICAS = 4
+
+DEFAULT_CLIENTS = (100_000, 1_000_000)
+
+
+def measure_bytes_per_account(
+    store: str, num_clients: int, num_replicas: int = DEFAULT_REPLICAS
+) -> float:
+    """Allocated bytes per account for one replica group.
+
+    ``store`` is ``"dict"`` (legacy per-client PyObjects) or ``"array"``
+    (int64 slabs + shared interner).  The genesis mapping itself is
+    built *before* tracing starts: it is workload input, not account
+    state, and both stores would carry it equally.
+    """
+    genesis = uniform_genesis(num_clients)
+    states: List[Any] = []
+    tracemalloc.start()
+    try:
+        base, _ = tracemalloc.get_traced_memory()
+        if store == "array":
+            interner = ClientInterner(genesis)
+            for _ in range(num_replicas):
+                states.append(AccountState(genesis, interner=interner))
+        elif store == "dict":
+            for _ in range(num_replicas):
+                states.append(DictAccountState(genesis))
+        else:
+            raise ValueError(
+                f"store must be 'dict' or 'array'; got {store!r}"
+            )
+        traced, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return (traced - base) / (num_clients * num_replicas)
+
+
+def run_memory_cells(
+    clients: Sequence[int] = DEFAULT_CLIENTS,
+    num_replicas: int = DEFAULT_REPLICAS,
+    include_dict: bool = True,
+) -> Dict[str, Any]:
+    """Measure every population size; returns the report section."""
+    cells = []
+    for num_clients in clients:
+        cell: Dict[str, Any] = {
+            "num_clients": num_clients,
+            "array_bytes_per_account": round(
+                measure_bytes_per_account("array", num_clients, num_replicas),
+                1,
+            ),
+        }
+        if include_dict:
+            cell["dict_bytes_per_account"] = round(
+                measure_bytes_per_account("dict", num_clients, num_replicas),
+                1,
+            )
+            cell["dict_over_array"] = round(
+                cell["dict_bytes_per_account"]
+                / cell["array_bytes_per_account"],
+                2,
+            )
+        cells.append(cell)
+    return {"num_replicas": num_replicas, "cells": cells}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.memory",
+        description="Measure bytes/account of the account-state stores.",
+    )
+    parser.add_argument(
+        "--clients",
+        default=",".join(str(c) for c in DEFAULT_CLIENTS),
+        help="comma-separated population sizes (default: 100000,1000000)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=DEFAULT_REPLICAS,
+        help="replicas per measured group (default: 4)",
+    )
+    parser.add_argument(
+        "--skip-dict", action="store_true",
+        help="measure only the array store (fast CI gate mode)",
+    )
+    parser.add_argument(
+        "--check-max-bytes", type=float, default=None, metavar="BYTES",
+        help="fail (exit 1) if the array store exceeds this many "
+             "bytes/account at any measured population",
+    )
+    args = parser.parse_args(argv)
+    clients = [int(c) for c in args.clients.split(",") if c.strip()]
+    if not clients or any(c <= 0 for c in clients):
+        parser.error(
+            f"--clients must be positive integers; got {args.clients!r}"
+        )
+
+    section = run_memory_cells(
+        clients, num_replicas=args.replicas, include_dict=not args.skip_dict
+    )
+    path = merge_perf_report({"memory": section})
+
+    headers = ["clients", "array B/acct"]
+    if not args.skip_dict:
+        headers += ["dict B/acct", "dict/array"]
+    rows = []
+    for cell in section["cells"]:
+        row = [cell["num_clients"], cell["array_bytes_per_account"]]
+        if not args.skip_dict:
+            row += [cell["dict_bytes_per_account"], cell["dict_over_array"]]
+        rows.append(row)
+    print_table(
+        headers,
+        rows,
+        title=f"Account-store memory ({args.replicas} replicas, "
+              f"shared interner; report: {path})",
+    )
+
+    if args.check_max_bytes is not None:
+        worst = max(
+            cell["array_bytes_per_account"] for cell in section["cells"]
+        )
+        if worst > args.check_max_bytes:
+            print(
+                f"[memory] FAIL: array store uses {worst} bytes/account, "
+                f"ceiling is {args.check_max_bytes}"
+            )
+            return 1
+        print(
+            f"[memory] OK: array store peaks at {worst} bytes/account "
+            f"(ceiling {args.check_max_bytes})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(main())

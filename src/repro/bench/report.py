@@ -2,9 +2,41 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "print_table", "format_series", "kilo"]
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_series",
+    "kilo",
+    "merge_perf_report",
+]
+
+
+def merge_perf_report(
+    updates: Dict[str, Any], path: Optional[str] = None
+) -> str:
+    """Merge keys into ``BENCH_perf.json`` (create if absent).
+
+    Every producer — the perf regression suite, the workload sweep,
+    ``repro.bench.memory`` — writes through here, so sections never
+    truncate each other regardless of execution order.  ``path``
+    defaults to the ``REPRO_PERF_JSON`` environment knob.
+    """
+    if path is None:
+        path = os.environ.get("REPRO_PERF_JSON", "BENCH_perf.json")
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, ValueError):
+        report = {}
+    report.update(updates)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path
 
 
 def kilo(value: float) -> str:

@@ -6,8 +6,8 @@ from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from ..sim.metrics import LatencyRecorder, LatencySummary, ThroughputMeter
+from ..workloads.base import make_workload, resolve_workload_name
 from ..workloads.drivers import OpenLoopDriver
-from ..workloads.uniform import UniformWorkload
 from .systems import client_ids_of
 
 __all__ = ["RunResult", "run_open_loop", "setup_open_loop", "finish_open_loop"]
@@ -59,7 +59,15 @@ def setup_open_loop(
     window attributes are (re)pinned here.
     """
     if workload is None:
-        workload = UniformWorkload(client_ids_of(system), seed=seed)
+        # ``REPRO_WORKLOAD`` selects the demand distribution; unset
+        # resolves to ``uniform``, which constructs exactly the
+        # pre-knob ``UniformWorkload(clients, seed=seed)`` default
+        # (golden-pinned).  Resolution happens here — inside the
+        # function sharded workers replicate — so serial and sharded
+        # runs agree on the workload by construction.
+        workload = make_workload(
+            resolve_workload_name(), client_ids_of(system), seed=seed
+        )
     # The meter only counts whole buckets inside the window, so the bucket
     # width must shrink with the window: a 0.4s probe window against fixed
     # 0.25s buckets can contain zero aligned buckets and report a rate of

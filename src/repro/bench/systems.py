@@ -24,7 +24,7 @@ from ..core.system import Astro1System, Astro2System
 from ..consensus.config import BftConfig
 from ..consensus.system import BftSystem
 from ..sim.latency import europe_wan
-from ..workloads.uniform import uniform_genesis
+from ..workloads.base import resolve_workload_name, workload_genesis
 
 __all__ = ["build_astro1", "build_astro2", "build_bft", "SYSTEM_BUILDERS",
            "client_ids_of", "validate_systems", "resolve_credit_coalesce",
@@ -119,6 +119,17 @@ def _install_adversary_kwarg(system: Any, adversary: Any, seed: int) -> Any:
     return system
 
 
+def _bench_genesis(num_clients: int) -> Dict[Any, int]:
+    """Genesis for the benchmark builders, workload-aware.
+
+    The balance regime must match the demand distribution the runner
+    will resolve from the same ``REPRO_WORKLOAD`` knob (tight merchants
+    under ``merchant``, ample balances otherwise); with the knob unset
+    this is exactly ``uniform_genesis(num_clients)``.
+    """
+    return workload_genesis(resolve_workload_name(), num_clients)
+
+
 def build_astro1(
     num_replicas: int,
     seed: int = 0,
@@ -126,7 +137,7 @@ def build_astro1(
     config: Optional[AstroConfig] = None,
     adversary: Any = None,
 ) -> Astro1System:
-    genesis = uniform_genesis(num_replicas * clients_per_replica)
+    genesis = _bench_genesis(num_replicas * clients_per_replica)
     if config is None:
         config = AstroConfig(
             num_replicas=num_replicas,
@@ -164,7 +175,7 @@ def build_astro2(
     per-message-class counters (CREDIT message accounting in perf tests).
     """
     total = num_replicas * num_shards
-    genesis = uniform_genesis(total * clients_per_replica)
+    genesis = _bench_genesis(total * clients_per_replica)
     if config is None:
         if credit_coalesce_delay is None:
             credit_coalesce_delay = resolve_credit_coalesce(num_replicas)
@@ -194,7 +205,7 @@ def build_bft(
     clients_per_replica: int = CLIENTS_PER_REPLICA,
     config: Optional[BftConfig] = None,
 ) -> BftSystem:
-    genesis = uniform_genesis(num_replicas * clients_per_replica)
+    genesis = _bench_genesis(num_replicas * clients_per_replica)
     return BftSystem(
         num_replicas=num_replicas,
         genesis=genesis,

@@ -12,8 +12,8 @@ from collections import deque
 from typing import Callable, Deque, Dict, Optional
 
 from ..core.accounts import AccountState
+from ..core.interning import ClientInterner
 from ..core.payment import ClientId, Payment
-from ..core.xlog import ExclusiveLog
 
 __all__ = ["PaymentLedger"]
 
@@ -25,8 +25,9 @@ class PaymentLedger:
         self,
         genesis: Dict[ClientId, int],
         on_settle: Optional[Callable[[Payment], None]] = None,
+        interner: Optional[ClientInterner] = None,
     ) -> None:
-        self.state = AccountState(genesis)
+        self.state = AccountState(genesis, interner=interner)
         self.on_settle = on_settle
         self._waiting: Dict[ClientId, Dict[int, Payment]] = {}
         self.settled_count = 0
@@ -43,12 +44,11 @@ class PaymentLedger:
 
     def _drain(self, worklist: Deque[ClientId]) -> None:
         # Executes once per payment per replica — the consensus baseline's
-        # hottest code, hence the local bindings and hand-inlined
-        # state.settle_full.
+        # hottest code.  settle_full operates directly on the int64 slabs.
         state = self.state
-        balances = state.balances
-        seqnums = state.seqnums
-        xlogs = state.xlogs
+        seqnum = state.seqnum
+        balance = state.balance
+        settle = state.settle_full
         waiting = self._waiting
         on_settle = self.on_settle
         while worklist:
@@ -57,27 +57,18 @@ class PaymentLedger:
             if not queue:
                 continue
             while True:
-                next_seq = seqnums.get(client, 0) + 1
+                next_seq = seqnum(client) + 1
                 payment = queue.get(next_seq)
                 if payment is None:
                     break
-                amount = payment.amount
-                if balances.get(client, 0) < amount:
+                if balance(client) < payment.amount:
                     break
                 queue.pop(next_seq)
-                beneficiary = payment.beneficiary
-                balances[client] = balances.get(client, 0) - amount
-                balances[beneficiary] = balances.get(beneficiary, 0) + amount
-                seqnums[client] = next_seq
-                log = xlogs.get(client)
-                if log is None:
-                    log = xlogs[client] = ExclusiveLog(client)
-                # seq == len(xlog)+1 is guaranteed by the gap queue above.
-                log._entries.append(payment)
+                settle(payment)
                 self.settled_count += 1
                 if on_settle is not None:
                     on_settle(payment)
-                worklist.append(beneficiary)
+                worklist.append(payment.beneficiary)
             if not queue:
                 waiting.pop(client, None)
 

@@ -30,6 +30,7 @@ from ..crypto import costs
 from ..crypto.hashing import Digest
 from ..transport.endpoint import ProtocolEndpoint
 from ..transport.interface import Transport
+from ..core.interning import ClientInterner
 from ..core.payment import ClientId, Payment, PaymentId
 from .config import BftConfig
 from .ledger import PaymentLedger
@@ -80,6 +81,7 @@ class BftReplica(ProtocolEndpoint):
         config: BftConfig,
         genesis: Dict[ClientId, int],
         peers: List[int],
+        interner: Optional[ClientInterner] = None,
     ) -> None:
         super().__init__(transport)
         node_id = transport.node_id
@@ -96,7 +98,9 @@ class BftReplica(ProtocolEndpoint):
         self._refresh_leader_flag()
         #: Per-request ingestion cost, cached off the config object.
         self._request_cost = config.request_cost * config.overhead_factor
-        self.ledger = PaymentLedger(genesis, on_settle=self._on_settle)
+        self.ledger = PaymentLedger(
+            genesis, on_settle=self._on_settle, interner=interner
+        )
         #: Requests awaiting proposal (leader only).  BFT-SMaRt batches
         #: whatever accumulated when a consensus slot frees, rather than
         #: flushing on a timer — crucial for pipelining behaviour.

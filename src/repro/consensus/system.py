@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..core.interning import ClientInterner
 from ..core.payment import ClientId, Payment, PaymentId
 from ..sim.events import Simulator
 from ..sim.faults import FaultInjector
@@ -113,9 +114,12 @@ class BftSystem:
         self.faults = FaultInjector(self.sim, self.network)
         self.genesis: Dict[ClientId, int] = dict(genesis or {})
         peers = list(range(config.num_replicas))
+        # One ClientId ⇄ index interner for all replicas: their account
+        # slabs share the per-client mapping cost.
+        interner = ClientInterner(self.genesis)
         self.replicas: List[BftReplica] = [
             BftReplica(Node(self.sim, node_id, self.network), config,
-                       dict(self.genesis), peers)
+                       dict(self.genesis), peers, interner=interner)
             for node_id in peers
         ]
         self._next_seq: Dict[ClientId, int] = {}

@@ -5,8 +5,9 @@ dependency mechanism of Astro II (Listings 6–10), and asynchronous
 sharding (§V).
 """
 
-from .accounts import AccountState
+from .accounts import AccountState, DictAccountState
 from .astro1 import Astro1Replica
+from .interning import ClientInterner
 from .astro2 import Astro2Replica
 from .client import ClientNode
 from .config import AstroConfig
@@ -28,6 +29,8 @@ from .xlog import ExclusiveLog, XlogViolation
 
 __all__ = [
     "AccountState",
+    "DictAccountState",
+    "ClientInterner",
     "Astro1Replica",
     "Astro2Replica",
     "ClientNode",

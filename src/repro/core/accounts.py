@@ -5,36 +5,609 @@ This is the local state every replica maintains (Listing 2):
 (balances), and ``xlogs[..]``.  The same structure backs Astro I,
 Astro II, and the consensus baseline — the systems differ in *how* they
 agree on what to apply, not in the applied state.
+
+Storage layout (the millions-of-users refactor): client ids are interned
+to dense int indices (:class:`~repro.core.interning.ClientInterner`,
+typically shared by all replicas of a system), and balances and sequence
+numbers live in flat ``array('q')`` slabs — 16 bytes per client per
+replica instead of one PyObject constellation per client.  Xlogs are
+materialized lazily: most of 10⁶ accounts never transact in a run, so an
+unmaterialized member reads as an empty log.  The ``balances`` /
+``seqnums`` / ``xlogs`` attributes remain dict-like views with the exact
+key set and insertion-order iteration of the former plain dicts, so
+every consumer — invariant monitors, auditors, fingerprints, tests —
+observes byte-identical behavior.
+
+Invariant the views rely on: a slab slot of a *non-member* index is
+always 0, so ``get(client, 0)`` and arithmetic reads skip membership
+checks entirely.
+
+Values are int64: balances and sequence numbers beyond ±2⁶³ raise
+``OverflowError`` (every existing workload stays ≤ ~10¹⁵).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from array import array
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
+from .interning import ClientInterner
 from .payment import ClientId, Payment
 from .xlog import ExclusiveLog
 
-__all__ = ["AccountState"]
+__all__ = ["AccountState", "DictAccountState"]
+
+
+def _zero_extend(slab: array, index: int) -> None:
+    """Grow ``slab`` in place so ``index`` is addressable (zero-filled)."""
+    slab.frombytes(bytes(8 * (index + 1 - len(slab))))
+
+
+class _BalancesView:
+    """Dict-like view over the balance slab (insertion-order parity)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: "AccountState") -> None:
+        self._state = state
+
+    def _indices(self) -> Iterator[int]:
+        st = self._state
+        yield from range(st._genesis_len)
+        yield from st._extra_bal
+
+    def __len__(self) -> int:
+        st = self._state
+        return st._genesis_len + len(st._extra_bal)
+
+    def __contains__(self, client: ClientId) -> bool:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None:
+            return False
+        return index < st._genesis_len or index in st._extra_bal
+
+    def __iter__(self) -> Iterator[ClientId]:
+        clients = self._state._interner._clients
+        for index in self._indices():
+            yield clients[index]
+
+    def keys(self) -> List[ClientId]:
+        return list(self)
+
+    def values(self) -> List[int]:
+        st = self._state
+        slab = st._bal
+        length = len(slab)
+        return [
+            slab[index] if index < length else 0
+            for index in self._indices()
+        ]
+
+    def items(self) -> List[Tuple[ClientId, int]]:
+        st = self._state
+        clients = st._interner._clients
+        slab = st._bal
+        length = len(slab)
+        return [
+            (clients[index], slab[index] if index < length else 0)
+            for index in self._indices()
+        ]
+
+    def __getitem__(self, client: ClientId) -> int:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None or not (
+            index < st._genesis_len or index in st._extra_bal
+        ):
+            raise KeyError(client)
+        slab = st._bal
+        return slab[index] if index < len(slab) else 0
+
+    def get(self, client: ClientId, default: Optional[int] = None):
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None:
+            return default
+        slab = st._bal
+        value = slab[index] if index < len(slab) else 0
+        if value == 0 and not (
+            index < st._genesis_len or index in st._extra_bal
+        ):
+            return default
+        return value
+
+    def __setitem__(self, client: ClientId, value: int) -> None:
+        st = self._state
+        index = st._interner.intern(client)
+        slab = st._bal
+        if index >= len(slab):
+            _zero_extend(slab, index)
+        if index >= st._genesis_len and index not in st._extra_bal:
+            st._extra_bal[index] = None
+        slab[index] = value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_BalancesView, _SeqnumsView)):
+            other = dict(other.items())
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_BalancesView({dict(self.items())!r})"
+
+
+class _SeqnumsView:
+    """Dict-like view over the sequence-number slab."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: "AccountState") -> None:
+        self._state = state
+
+    def _indices(self) -> Iterator[int]:
+        st = self._state
+        yield from range(st._genesis_len)
+        yield from st._extra_seq
+
+    def __len__(self) -> int:
+        st = self._state
+        return st._genesis_len + len(st._extra_seq)
+
+    def __contains__(self, client: ClientId) -> bool:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None:
+            return False
+        return index < st._genesis_len or index in st._extra_seq
+
+    def __iter__(self) -> Iterator[ClientId]:
+        clients = self._state._interner._clients
+        for index in self._indices():
+            yield clients[index]
+
+    def keys(self) -> List[ClientId]:
+        return list(self)
+
+    def values(self) -> List[int]:
+        st = self._state
+        slab = st._seq
+        length = len(slab)
+        return [
+            slab[index] if index < length else 0
+            for index in self._indices()
+        ]
+
+    def items(self) -> List[Tuple[ClientId, int]]:
+        st = self._state
+        clients = st._interner._clients
+        slab = st._seq
+        length = len(slab)
+        return [
+            (clients[index], slab[index] if index < length else 0)
+            for index in self._indices()
+        ]
+
+    def __getitem__(self, client: ClientId) -> int:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None or not (
+            index < st._genesis_len or index in st._extra_seq
+        ):
+            raise KeyError(client)
+        slab = st._seq
+        return slab[index] if index < len(slab) else 0
+
+    def get(self, client: ClientId, default: Optional[int] = None):
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None:
+            return default
+        slab = st._seq
+        value = slab[index] if index < len(slab) else 0
+        if value == 0 and not (
+            index < st._genesis_len or index in st._extra_seq
+        ):
+            return default
+        return value
+
+    def __setitem__(self, client: ClientId, value: int) -> None:
+        st = self._state
+        index = st._interner.intern(client)
+        slab = st._seq
+        if index >= len(slab):
+            _zero_extend(slab, index)
+        if index >= st._genesis_len and index not in st._extra_seq:
+            st._extra_seq[index] = None
+            st._snap_order = None
+        slab[index] = value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_BalancesView, _SeqnumsView)):
+            other = dict(other.items())
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_SeqnumsView({dict(self.items())!r})"
+
+
+class _XlogsView:
+    """Dict-like view over lazily materialized xlogs.
+
+    Key set and order match the former eager dict: genesis clients
+    first, then post-genesis additions in first-registration order.
+    ``[client]`` materializes a persistent log (mutations stick);
+    iteration yields transient empty logs for members that never
+    transacted, so sampling 10⁶ idle accounts allocates nothing lasting.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: "AccountState") -> None:
+        self._state = state
+
+    def _indices(self) -> Iterator[int]:
+        st = self._state
+        yield from range(st._genesis_len)
+        yield from st._extra_xlog
+
+    def __len__(self) -> int:
+        st = self._state
+        return st._genesis_len + len(st._extra_xlog)
+
+    def __contains__(self, client: ClientId) -> bool:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None:
+            return False
+        return index < st._genesis_len or index in st._extra_xlog
+
+    def __iter__(self) -> Iterator[ClientId]:
+        clients = self._state._interner._clients
+        for index in self._indices():
+            yield clients[index]
+
+    def keys(self) -> List[ClientId]:
+        return list(self)
+
+    def values(self) -> List[ExclusiveLog]:
+        return [log for _, log in self.items()]
+
+    def items(self) -> List[Tuple[ClientId, ExclusiveLog]]:
+        st = self._state
+        clients = st._interner._clients
+        materialized = st._xlog_map
+        out: List[Tuple[ClientId, ExclusiveLog]] = []
+        for index in self._indices():
+            client = clients[index]
+            log = materialized.get(index)
+            if log is None:
+                log = ExclusiveLog(client)
+            out.append((client, log))
+        return out
+
+    def __getitem__(self, client: ClientId) -> ExclusiveLog:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None or not (
+            index < st._genesis_len or index in st._extra_xlog
+        ):
+            raise KeyError(client)
+        return st._materialize(index, client)
+
+    def get(
+        self, client: ClientId, default: Optional[ExclusiveLog] = None
+    ) -> Optional[ExclusiveLog]:
+        st = self._state
+        index = st._interner._index.get(client)
+        if index is None or not (
+            index < st._genesis_len or index in st._extra_xlog
+        ):
+            return default
+        return st._materialize(index, client)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_XlogsView(members={len(self)})"
 
 
 class AccountState:
     """Balances, sequence numbers, and xlogs for a set of clients."""
+
+    __slots__ = (
+        "_interner",
+        "_genesis_len",
+        "_bal",
+        "_seq",
+        "_extra_bal",
+        "_extra_seq",
+        "_extra_xlog",
+        "_xlog_map",
+        "_snap_order",
+        "balances",
+        "seqnums",
+        "xlogs",
+    )
+
+    def __init__(
+        self,
+        genesis: Mapping[ClientId, int],
+        interner: Optional[ClientInterner] = None,
+    ) -> None:
+        for client, amount in genesis.items():
+            if amount < 0:
+                raise ValueError(
+                    f"negative genesis balance for {client!r}: {amount}"
+                )
+        if interner is None:
+            interner = ClientInterner(genesis)
+        self._interner = interner
+        #: Indices ``0 .. _genesis_len-1`` are implicit members of all
+        #: three maps, in genesis order — the zero-overhead common case
+        #: where the (shared) interner starts from this very genesis.
+        genesis_len = 0
+        extra_bal: Dict[int, None] = {}
+        extra_seq: Dict[int, None] = {}
+        extra_xlog: Dict[int, None] = {}
+        prefix = True
+        top = -1
+        for position, client in enumerate(genesis):
+            index = interner.intern(client)
+            if prefix and index == position:
+                genesis_len += 1
+            else:
+                # Interner pre-populated with other clients: the tail of
+                # the genesis set is tracked explicitly (rare path; the
+                # systems always seed the shared interner from genesis).
+                prefix = False
+                extra_bal[index] = None
+                extra_seq[index] = None
+                extra_xlog[index] = None
+            if index > top:
+                top = index
+        self._genesis_len = genesis_len
+        bal = array("q", bytes(8 * (top + 1)))
+        for client, amount in genesis.items():
+            if amount:
+                bal[interner._index[client]] = amount
+        self._bal = bal
+        self._seq = array("q", bytes(8 * (top + 1)))
+        self._extra_bal = extra_bal
+        self._extra_seq = extra_seq
+        self._extra_xlog = extra_xlog
+        self._xlog_map: Dict[int, ExclusiveLog] = {}
+        #: Cached repr-sorted member indices for :meth:`snapshot`;
+        #: invalidated whenever the seqnum member set changes.
+        self._snap_order: Optional[List[int]] = None
+        self.balances = _BalancesView(self)
+        self.seqnums = _SeqnumsView(self)
+        self.xlogs = _XlogsView(self)
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    def _materialize(self, index: int, client: ClientId) -> ExclusiveLog:
+        log = self._xlog_map.get(index)
+        if log is None:
+            log = ExclusiveLog(client)
+            self._xlog_map[index] = log
+            if index >= self._genesis_len and index not in self._extra_xlog:
+                self._extra_xlog[index] = None
+        return log
+
+    def _ensure_spender(self, index: int) -> None:
+        """Make ``index`` a member of balances+seqnums (settle paths)."""
+        if index >= self._genesis_len:
+            if index not in self._extra_bal:
+                self._extra_bal[index] = None
+            if index not in self._extra_seq:
+                self._extra_seq[index] = None
+                self._snap_order = None
+        if index >= len(self._bal):
+            _zero_extend(self._bal, index)
+        if index >= len(self._seq):
+            _zero_extend(self._seq, index)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def balance(self, client: ClientId) -> int:
+        index = self._interner._index.get(client)
+        if index is None:
+            return 0
+        slab = self._bal
+        return slab[index] if index < len(slab) else 0
+
+    def seqnum(self, client: ClientId) -> int:
+        index = self._interner._index.get(client)
+        if index is None:
+            return 0
+        slab = self._seq
+        return slab[index] if index < len(slab) else 0
+
+    def xlog(self, client: ClientId) -> ExclusiveLog:
+        return self._materialize(self._interner.intern(client), client)
+
+    def knows(self, client: ClientId) -> bool:
+        index = self._interner._index.get(client)
+        if index is None:
+            return False
+        return index < self._genesis_len or index in self._extra_seq
+
+    def add_client(self, client: ClientId, balance: int = 0) -> None:
+        """Register a new client (reconfiguration path, §A)."""
+        if self.knows(client):
+            raise ValueError(f"client {client!r} already registered")
+        index = self._interner.intern(client)
+        self._ensure_spender(index)
+        self._bal[index] = balance
+        self._seq[index] = 0
+        if index >= self._genesis_len and index not in self._extra_xlog:
+            self._extra_xlog[index] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def credit(self, client: ClientId, amount: int) -> None:
+        index = self._interner.intern(client)
+        slab = self._bal
+        if index >= len(slab):
+            _zero_extend(slab, index)
+        if index >= self._genesis_len and index not in self._extra_bal:
+            self._extra_bal[index] = None
+        slab[index] += amount
+
+    def settle_full(self, payment: Payment) -> None:
+        """Listing 4: withdraw, deposit, bump sn, append to xlog.
+
+        This is Astro I's (and the consensus baseline's) settle, where the
+        beneficiary is credited directly.  Astro II uses
+        :meth:`settle_spend_only` plus dependency materialization.  Runs
+        once per payment per replica — the hottest code in Astro I.
+        """
+        interner = self._interner
+        spender = payment.spender
+        sp = interner._index.get(spender)
+        if sp is None:
+            sp = interner.intern(spender)
+        self._ensure_spender(sp)
+        amount = payment.amount
+        bal = self._bal
+        bal[sp] -= amount
+        ben = interner._index.get(payment.beneficiary)
+        if ben is None:
+            ben = interner.intern(payment.beneficiary)
+        if ben >= len(bal):
+            _zero_extend(bal, ben)
+        if ben >= self._genesis_len and ben not in self._extra_bal:
+            self._extra_bal[ben] = None
+        bal[ben] += amount
+        self._seq[sp] += 1
+        log = self._xlog_map.get(sp)
+        if log is None:
+            log = self._materialize(sp, spender)
+        log.append(payment)
+
+    def settle_spend_only(self, payment: Payment) -> None:
+        """Listing 9's spend half: withdraw, bump sn, append to xlog.
+
+        The beneficiary side is handled by CREDIT messages / dependency
+        certificates, never by a direct deposit.
+        """
+        interner = self._interner
+        spender = payment.spender
+        sp = interner._index.get(spender)
+        if sp is None:
+            sp = interner.intern(spender)
+        self._ensure_spender(sp)
+        self._bal[sp] -= payment.amount
+        self._seq[sp] += 1
+        log = self._xlog_map.get(sp)
+        if log is None:
+            log = self._materialize(sp, spender)
+        log.append(payment)
+
+    def try_settle_spend(self, payment: Payment) -> bool:
+        """Funds-checked :meth:`settle_spend_only` in one pass.
+
+        Returns ``False`` (state untouched) when the spender's balance
+        does not cover the amount — Listing 9 l.49, Astro II's
+        drop-without-advancing-sn path.  One interner lookup and int64
+        slab ops per call: Astro II's hottest code.
+        """
+        interner = self._interner
+        spender = payment.spender
+        sp = interner._index.get(spender)
+        if sp is None:
+            sp = interner.intern(spender)
+        bal = self._bal
+        balance = bal[sp] if sp < len(bal) else 0
+        amount = payment.amount
+        if balance < amount:
+            return False
+        self._ensure_spender(sp)
+        bal = self._bal
+        bal[sp] = balance - amount
+        self._seq[sp] += 1
+        log = self._xlog_map.get(sp)
+        if log is None:
+            log = self._materialize(sp, spender)
+        log.append(payment)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariants)
+    # ------------------------------------------------------------------
+    def total_balance(self) -> int:
+        # Non-member slots are always 0, so the raw slab sum equals the
+        # member sum — one C-speed pass regardless of account count.
+        return sum(self._bal)
+
+    def snapshot(self) -> Tuple[Tuple[ClientId, int, int], ...]:
+        """Deterministic (client, balance, sn) tuple for state comparison.
+
+        The repr-sorted member order is cached and invalidated only when
+        the member set changes (``add_client`` / first settle of an
+        unknown spender) — fingerprinting 10⁶ idle accounts no longer
+        re-sorts per sample.
+        """
+        clients = self._interner._clients
+        order = self._snap_order
+        if order is None:
+            members = list(range(self._genesis_len))
+            members.extend(self._extra_seq)
+            members.sort(key=lambda index: repr(clients[index]))
+            order = self._snap_order = members
+        bal = self._bal
+        seq = self._seq
+        nb = len(bal)
+        ns = len(seq)
+        return tuple(
+            (
+                clients[index],
+                bal[index] if index < nb else 0,
+                seq[index] if index < ns else 0,
+            )
+            for index in order
+        )
+
+    def clients(self) -> Iterable[ClientId]:
+        return self.seqnums.keys()
+
+
+class DictAccountState:
+    """The pre-refactor dict-of-objects store, kept for memory/perf A/B.
+
+    One dict entry per client in each of three maps plus an eager
+    :class:`ExclusiveLog` — O(PyObject) per account.  Semantically
+    identical to :class:`AccountState`; `bench/memory.py` instantiates
+    both to report resident bytes/account side by side.
+    """
 
     __slots__ = ("balances", "seqnums", "xlogs")
 
     def __init__(self, genesis: Mapping[ClientId, int]) -> None:
         for client, amount in genesis.items():
             if amount < 0:
-                raise ValueError(f"negative genesis balance for {client!r}: {amount}")
+                raise ValueError(
+                    f"negative genesis balance for {client!r}: {amount}"
+                )
         self.balances: Dict[ClientId, int] = dict(genesis)
         self.seqnums: Dict[ClientId, int] = {client: 0 for client in genesis}
         self.xlogs: Dict[ClientId, ExclusiveLog] = {
             client: ExclusiveLog(client) for client in genesis
         }
 
-    # ------------------------------------------------------------------
-    # Accessors
-    # ------------------------------------------------------------------
     def balance(self, client: ClientId) -> int:
         return self.balances.get(client, 0)
 
@@ -52,53 +625,49 @@ class AccountState:
         return client in self.seqnums
 
     def add_client(self, client: ClientId, balance: int = 0) -> None:
-        """Register a new client (reconfiguration path, §A)."""
         if client in self.seqnums:
             raise ValueError(f"client {client!r} already registered")
         self.balances[client] = balance
         self.seqnums[client] = 0
         self.xlogs[client] = ExclusiveLog(client)
 
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
     def credit(self, client: ClientId, amount: int) -> None:
         self.balances[client] = self.balances.get(client, 0) + amount
 
     def settle_full(self, payment: Payment) -> None:
-        """Listing 4: withdraw, deposit, bump sn, append to xlog.
-
-        This is Astro I's (and the consensus baseline's) settle, where the
-        beneficiary is credited directly.  Astro II uses
-        :meth:`settle_spend_only` plus dependency materialization.
-        """
         spender = payment.spender
-        self.balances[spender] = self.balances.get(spender, 0) - payment.amount
+        self.balances[spender] = (
+            self.balances.get(spender, 0) - payment.amount
+        )
         self.credit(payment.beneficiary, payment.amount)
         self.seqnums[spender] = self.seqnums.get(spender, 0) + 1
         self.xlog(spender).append(payment)
 
     def settle_spend_only(self, payment: Payment) -> None:
-        """Listing 9's spend half: withdraw, bump sn, append to xlog.
-
-        The beneficiary side is handled by CREDIT messages / dependency
-        certificates, never by a direct deposit.
-        """
         spender = payment.spender
-        self.balances[spender] = self.balances.get(spender, 0) - payment.amount
+        self.balances[spender] = (
+            self.balances.get(spender, 0) - payment.amount
+        )
         self.seqnums[spender] = self.seqnums.get(spender, 0) + 1
         self.xlog(spender).append(payment)
 
-    # ------------------------------------------------------------------
-    # Introspection (tests, invariants)
-    # ------------------------------------------------------------------
+    def try_settle_spend(self, payment: Payment) -> bool:
+        spender = payment.spender
+        if self.balances.get(spender, 0) < payment.amount:
+            return False
+        self.settle_spend_only(payment)
+        return True
+
     def total_balance(self) -> int:
         return sum(self.balances.values())
 
     def snapshot(self) -> Tuple[Tuple[ClientId, int, int], ...]:
-        """Deterministic (client, balance, sn) tuple for state comparison."""
         return tuple(
-            (client, self.balances.get(client, 0), self.seqnums.get(client, 0))
+            (
+                client,
+                self.balances.get(client, 0),
+                self.seqnums.get(client, 0),
+            )
             for client in sorted(self.seqnums, key=repr)
         )
 

@@ -16,9 +16,9 @@ from ..brb.bracha import BrachaBroadcast
 from ..transport.interface import Transport
 from .config import AstroConfig
 from .directory import Directory
+from .interning import ClientInterner
 from .payment import ClientId, Payment
 from .replica import AstroReplicaBase
-from .xlog import ExclusiveLog
 
 __all__ = ["Astro1Replica"]
 
@@ -33,8 +33,9 @@ class Astro1Replica(AstroReplicaBase):
         genesis: Dict[ClientId, int],
         directory: Directory,
         peers: List[int],
+        interner: Optional[ClientInterner] = None,
     ) -> None:
-        super().__init__(transport, config, genesis, directory)
+        super().__init__(transport, config, genesis, directory, interner)
         self.brb = BrachaBroadcast(
             transport, peers, self._on_brb_deliver, f=config.f, fifo=True
         )
@@ -63,25 +64,11 @@ class Astro1Replica(AstroReplicaBase):
 
     def _settle(self, payment: Payment) -> Optional[ClientId]:
         # Listing 4: withdraw, deposit, bump sn, append to the xlog.
-        # Hand-inlined state.settle_full — this runs once per payment per
-        # replica and is the hottest code in Astro I.
-        state = self.state
-        balances = state.balances
-        spender = payment.spender
-        beneficiary = payment.beneficiary
-        amount = payment.amount
-        balances[spender] = balances.get(spender, 0) - amount
-        balances[beneficiary] = balances.get(beneficiary, 0) + amount
-        state.seqnums[spender] = state.seqnums.get(spender, 0) + 1
-        xlogs = state.xlogs
-        log = xlogs.get(spender)
-        if log is None:
-            log = xlogs[spender] = ExclusiveLog(spender)
-        # seq == len(xlog)+1 is guaranteed by the drain loop's gap queue
-        # (seqnum and xlog length move in lockstep), so the append-time
-        # re-validation of ExclusiveLog.append is skipped here.
-        log._entries.append(payment)
+        # settle_full works directly on the int64 slabs — two interner
+        # lookups plus C array ops per payment, no per-client PyObjects.
+        self.state.settle_full(payment)
         self.settled_count += 1
+        spender = payment.spender
         if self._rep_map.get(spender) == self.node_id:
             self._confirm(payment)
-        return beneficiary
+        return payment.beneficiary

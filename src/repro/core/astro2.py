@@ -37,9 +37,9 @@ from .dependencies import (
     verify_certificate,
 )
 from .directory import Directory
+from .interning import ClientInterner
 from .payment import ClientId, Payment, PaymentId
 from .replica import AstroReplicaBase
-from .xlog import ExclusiveLog
 
 __all__ = ["Astro2Replica"]
 
@@ -61,8 +61,9 @@ class Astro2Replica(AstroReplicaBase):
         directory: Directory,
         keychain: Keychain,
         key: KeyPair,
+        interner: Optional[ClientInterner] = None,
     ) -> None:
-        super().__init__(transport, config, genesis, directory)
+        super().__init__(transport, config, genesis, directory, interner)
         self.keychain = keychain
         self.key = key
         node_id = transport.node_id
@@ -321,28 +322,14 @@ class Astro2Replica(AstroReplicaBase):
                     continue
                 used.add(cert.dep_id)
                 self.state.credit(spender, cert.amount)
-        # Hand-inlined state.settle_spend_only plus the funds check — this
-        # runs once per payment per replica and is Astro II's hottest code.
-        state = self.state
-        balances = state.balances
-        balance = balances.get(spender, 0)
-        amount = payment.amount
-        if balance < amount:
+        # Funds check + spend in one pass on the int64 slabs (one
+        # interner lookup per payment) — Astro II's hottest code.
+        if not self.state.try_settle_spend(payment):
             # Listing 9 l.49: an underfunded payment is dropped without
             # advancing sn.  Correct representatives prove funds before
             # broadcasting, so this fires only under faulty clients/reps.
             self.rejected.append(payment)
             return None
-        balances[spender] = balance - amount
-        state.seqnums[spender] = state.seqnums.get(spender, 0) + 1
-        xlogs = state.xlogs
-        log = xlogs.get(spender)
-        if log is None:
-            log = xlogs[spender] = ExclusiveLog(spender)
-        # seq == len(xlog)+1 is guaranteed by the drain loop's gap queue
-        # (seqnum and xlog length move in lockstep), so the append-time
-        # re-validation of ExclusiveLog.append is skipped here.
-        log._entries.append(payment)
         self.settled_count += 1
         self._credit_buffer.append(payment)
         if self._rep_map.get(spender) == self.node_id:

@@ -1,0 +1,60 @@
+"""Client-id interning: ClientId ⇄ dense int index, insertion-ordered.
+
+The array-backed :class:`~repro.core.accounts.AccountState` stores
+balances and sequence numbers in flat ``array('q')`` slabs indexed by a
+small integer per client.  This module owns that mapping.  One
+:class:`ClientInterner` is typically *shared* by every replica of a
+system (they all start from the same genesis), so the per-client mapping
+cost — the ``dict`` entry and the id string itself — is paid once per
+process instead of once per replica.
+
+Determinism: indices are assigned in first-intern order and never
+change, and iteration over :meth:`clients` follows that same insertion
+order.  Nothing here depends on the interpreter hash seed — dict
+insertion order is the only ordering used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .payment import ClientId
+
+__all__ = ["ClientInterner"]
+
+
+class ClientInterner:
+    """Bidirectional ClientId ⇄ dense index map, insertion-ordered."""
+
+    __slots__ = ("_index", "_clients")
+
+    def __init__(self, clients: Iterable[ClientId] = ()) -> None:
+        self._index: Dict[ClientId, int] = {}
+        self._clients: List[ClientId] = []
+        for client in clients:
+            self.intern(client)
+
+    def intern(self, client: ClientId) -> int:
+        """Return the client's index, assigning the next one if new."""
+        index = self._index.get(client)
+        if index is None:
+            index = len(self._clients)
+            self._index[client] = index
+            self._clients.append(client)
+        return index
+
+    def index_of(self, client: ClientId) -> Optional[int]:
+        """The client's index, or ``None`` if never interned."""
+        return self._index.get(client)
+
+    def client_at(self, index: int) -> ClientId:
+        return self._clients[index]
+
+    def __contains__(self, client: ClientId) -> bool:
+        return client in self._index
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClientInterner len={len(self._clients)}>"

@@ -29,9 +29,11 @@ import hashlib
 import os
 import pickle
 import struct
+from array import array
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..transport.framing import FrameError, MAX_FRAME_BYTES, encode_frame
+from .accounts import AccountState
 from .payment import ClientId
 from .xlog import ExclusiveLog
 
@@ -75,17 +77,111 @@ def state_fingerprint(state: Any) -> str:
     return hashlib.sha256(repr(state.snapshot()).encode()).hexdigest()
 
 
+def _genesis_digest(state: AccountState) -> str:
+    """Fingerprint of the interned genesis prefix (restore alignment)."""
+    prefix = tuple(state._interner._clients[: state._genesis_len])
+    return hashlib.sha256(repr(prefix).encode()).hexdigest()
+
+
 def snapshot_account_state(state: Any) -> Dict[str, Any]:
-    """Full picklable capture of an :class:`AccountState` (incl. xlogs)."""
+    """Full picklable capture of an account state (incl. xlogs).
+
+    Array-backed states are captured in the **format-2** encoding: the
+    genesis prefix of the balance/seqnum slabs ships as raw int64 bytes
+    (O(16 bytes/account), no per-client PyObjects in the pickle), with
+    the rare post-genesis members and the non-empty xlogs spelled out
+    per client.  Dict-backed states fall back to the legacy format-1
+    dict capture.
+    """
+    if not isinstance(state, AccountState):
+        return {
+            "balances": dict(state.balances),
+            "seqnums": dict(state.seqnums),
+            "xlogs": {
+                owner: list(log._entries)
+                for owner, log in state.xlogs.items()
+            },
+        }
+    genesis_len = state._genesis_len
+    bal = state._bal
+    seq = state._seq
+    clients = state._interner._clients
+
+    def _extras(slab: Any, members: Any) -> List[Tuple[ClientId, int]]:
+        length = len(slab)
+        return [
+            (clients[index], slab[index] if index < length else 0)
+            for index in members
+        ]
+
     return {
-        "balances": dict(state.balances),
-        "seqnums": dict(state.seqnums),
-        "xlogs": {owner: list(log._entries) for owner, log in state.xlogs.items()},
+        "format": 2,
+        "genesis_len": genesis_len,
+        "genesis_digest": _genesis_digest(state),
+        "balances": bal[:genesis_len].tobytes(),
+        "seqnums": seq[:genesis_len].tobytes(),
+        "extra_balances": _extras(bal, state._extra_bal),
+        "extra_seqnums": _extras(seq, state._extra_seq),
+        "xlog_extras": [clients[index] for index in state._extra_xlog],
+        "xlog_entries": {
+            log.owner: list(log._entries)
+            for log in state._xlog_map.values()
+            if log._entries
+        },
     }
 
 
+def _reset_account_state(state: AccountState) -> None:
+    """Zero an array-backed state ahead of a restore (genesis kept)."""
+    state._bal = array("q", bytes(8 * len(state._bal)))
+    state._seq = array("q", bytes(8 * len(state._seq)))
+    state._extra_bal = {}
+    state._extra_seq = {}
+    state._extra_xlog = {}
+    state._xlog_map = {}
+    state._snap_order = None
+
+
 def restore_account_state(state: Any, data: Dict[str, Any]) -> None:
-    """Rebuild an :class:`AccountState` in place from a capture."""
+    """Rebuild an :class:`AccountState` in place from a capture.
+
+    Accepts both the format-2 array encoding and legacy format-1 dict
+    pickles (pre-refactor snapshots on disk still replay).
+    """
+    if data.get("format") == 2:
+        if data["genesis_len"] != state._genesis_len or (
+            data["genesis_digest"] != _genesis_digest(state)
+        ):
+            raise WalCorruption(
+                "snapshot genesis does not match this replica's genesis"
+            )
+        _reset_account_state(state)
+        bal = array("q")
+        bal.frombytes(data["balances"])
+        seq = array("q")
+        seq.frombytes(data["seqnums"])
+        state._bal = bal
+        state._seq = seq
+        for client, value in data["extra_balances"]:
+            state.balances[client] = value
+        for client, value in data["extra_seqnums"]:
+            state.seqnums[client] = value
+        for owner in data["xlog_extras"]:
+            state.xlog(owner)
+        for owner, entries in data["xlog_entries"].items():
+            state.xlog(owner)._entries = list(entries)
+        return
+    if isinstance(state, AccountState):
+        # Legacy dict capture restored onto an array-backed state.
+        _reset_account_state(state)
+        for client, value in data["balances"].items():
+            state.balances[client] = value
+        for client, value in data["seqnums"].items():
+            state.seqnums[client] = value
+        for owner, entries in data["xlogs"].items():
+            log = state.xlog(owner)
+            log._entries = list(entries)
+        return
     state.balances = dict(data["balances"])
     state.seqnums = dict(data["seqnums"])
     xlogs: Dict[ClientId, ExclusiveLog] = {}

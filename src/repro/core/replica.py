@@ -19,6 +19,7 @@ from ..transport.endpoint import ProtocolEndpoint
 from ..transport.interface import Transport
 from .accounts import AccountState
 from .config import AstroConfig
+from .interning import ClientInterner
 from .directory import Directory
 from .messages import CONFIRM_BYTES, ClientConfirm, ClientSubmit
 from .payment import ClientId, Payment
@@ -57,6 +58,7 @@ class AstroReplicaBase(ProtocolEndpoint):
         config: AstroConfig,
         genesis: Dict[ClientId, int],
         directory: Directory,
+        interner: Optional[ClientInterner] = None,
     ) -> None:
         super().__init__(transport)
         self.config = config
@@ -68,7 +70,10 @@ class AstroReplicaBase(ProtocolEndpoint):
         self._ingest_cost = config.ingest_cost
         self._settle_cost = config.settle_cost
         self._confirm_cost = config.confirm_cost
-        self.state = AccountState(genesis)
+        #: ``interner`` is shared by all replicas of one system when the
+        #: system builds them — the ClientId ⇄ index map is then paid
+        #: once per process, not once per replica.
+        self.state = AccountState(genesis, interner=interner)
         self.batcher: Batcher[Payment] = Batcher(
             transport.clock,
             self._flush_batch,

@@ -26,6 +26,7 @@ from .astro2 import Astro2Replica
 from .client import ClientNode, ConfirmCallback
 from .config import AstroConfig
 from .directory import Directory
+from .interning import ClientInterner
 from .payment import ClientId, Payment
 from .replica import AstroReplicaBase
 
@@ -229,6 +230,9 @@ class Astro1System(_AstroSystemBase):
             else:
                 representative = members[position % len(members)]
             self.directory.register_client(client, representative)
+        # One ClientId ⇄ index interner for all replicas: their account
+        # slabs share the per-client mapping cost.
+        interner = ClientInterner(self.genesis)
         for node_id in members:
             # The simulator Node is the replica's transport backend; the
             # replica itself is a plain protocol object (the same object
@@ -241,6 +245,7 @@ class Astro1System(_AstroSystemBase):
                     dict(self.genesis),
                     self.directory,
                     list(members),
+                    interner=interner,
                 )
             )
 
@@ -309,6 +314,9 @@ class Astro2System(_AstroSystemBase):
                 for client, amount in self.genesis.items()
                 if client in shard_clients
             }
+            # Replicas of one shard share identical genesis, so they
+            # share one interner (cross-shard ids are interned lazily).
+            interner = ClientInterner(shard_genesis)
             for node_id in self.directory.members(shard):
                 key = self.keychain.generate(replica_owner(node_id))
                 transport = Node(self.sim, node_id, self.network)
@@ -320,6 +328,7 @@ class Astro2System(_AstroSystemBase):
                         self.directory,
                         self.keychain,
                         key,
+                        interner=interner,
                     )
                 )
 

@@ -52,7 +52,6 @@ from typing import (
     Union,
 )
 
-from ..core.accounts import AccountState
 from ..core.persistence import state_fingerprint
 from ..core.xlog import ExclusiveLog
 
@@ -375,12 +374,31 @@ class LiveFaultInjector:
 # ----------------------------------------------------------------------
 # Monitor feed: live snapshots → the `system` shape InvariantMonitor reads
 # ----------------------------------------------------------------------
+class _SampledState:
+    """Plain-dict stand-in for one sampled account state.
+
+    The invariant monitor only *reads* mapping attributes, and
+    :meth:`_ReplicaView.update` replaces them wholesale from each
+    snapshot — a real (array-backed) :class:`AccountState` would be
+    pointless indirection here.
+    """
+
+    __slots__ = ("balances", "seqnums", "xlogs")
+
+    def __init__(self, genesis: Dict[Any, int]) -> None:
+        self.balances: Dict[Any, int] = dict(genesis)
+        self.seqnums: Dict[Any, int] = {client: 0 for client in genesis}
+        self.xlogs: Dict[Any, ExclusiveLog] = {
+            client: ExclusiveLog(client) for client in genesis
+        }
+
+
 class _ReplicaView:
     """Frozen-until-updated stand-in for one replica's sampled state."""
 
     def __init__(self, node_id: int, genesis: Dict[Any, int], deps: bool) -> None:
         self.node_id = node_id
-        self.state = AccountState(genesis)
+        self.state = _SampledState(genesis)
         if deps:
             self._used_deps: Dict[Any, set] = {}
         self.fingerprint: Optional[str] = None

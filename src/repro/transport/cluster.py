@@ -107,25 +107,56 @@ class Shutdown:
 # ---------------------------------------------------------------------------
 # Deterministic assembly (mirrors Astro1System / Astro2System exactly)
 # ---------------------------------------------------------------------------
-def default_genesis(n: int) -> Dict[str, int]:
-    """The cluster's client population: ``4·n`` richly funded clients."""
-    return {
-        f"c{i:04d}": GENESIS_BALANCE for i in range(CLIENTS_PER_REPLICA * n)
-    }
+def default_genesis(n: int, workload: Optional[str] = None) -> Dict[str, int]:
+    """The cluster's client population: ``4·n`` funded clients.
+
+    Balances follow the resolved ``REPRO_WORKLOAD`` regime: richly
+    funded everywhere except under ``merchant``, where the merchant
+    slice of the (repr-sorted) population starts tight so live payouts
+    exercise credit-funded settlement.  Every process — parent and
+    replica children alike — resolves the same environment knob, so all
+    derive an identical genesis independently.
+    """
+    from ..workloads.base import resolve_workload_name
+
+    clients = [f"c{i:04d}" for i in range(CLIENTS_PER_REPLICA * n)]
+    genesis = {client: GENESIS_BALANCE for client in clients}
+    if resolve_workload_name(workload) == "merchant":
+        from ..workloads.merchant import MERCHANT_BALANCE, merchant_split
+
+        _, merchants = merchant_split(sorted(clients, key=repr))
+        for client in merchants:
+            genesis[client] = MERCHANT_BALANCE
+    return genesis
 
 
-def payment_stream(clients: Sequence[str]) -> Iterator[Any]:
+def payment_stream(
+    clients: Sequence[str], workload: Optional[Any] = None
+) -> Iterator[Any]:
     """The deterministic payment sequence the load generator emits.
 
-    Round-robin spender, next client as beneficiary, amount 1, per-client
-    sequence numbers dense from 1.  Exposed so the sim-parity tests can
-    feed the *same* workload to a simulated system and compare settled
-    sets after an identical fault timeline.
+    Without a workload: round-robin spender, next client as beneficiary,
+    amount 1, per-client sequence numbers dense from 1.  Exposed so the
+    sim-parity tests can feed the *same* workload to a simulated system
+    and compare settled sets after an identical fault timeline.
+
+    With a :class:`~repro.workloads.base.Workload`, triples come from
+    ``workload.next()`` (read-only ``None`` operations are skipped) and
+    this generator only adds the dense per-spender sequence numbers.
     """
     from ..core.payment import Payment
 
-    num = len(clients)
     next_seq: Dict[str, int] = {}
+    if workload is not None:
+        while True:
+            operation = workload.next()
+            if operation is None:
+                continue
+            spender, beneficiary, amount = operation
+            seq = next_seq.get(spender, 0) + 1
+            next_seq[spender] = seq
+            yield Payment(spender, seq, beneficiary, amount)
+    num = len(clients)
     index = 0
     while True:
         spender = clients[index % num]
@@ -550,6 +581,7 @@ class _LoadGen:
         system: str,
         n: int,
         genesis: Dict[str, int],
+        workload: Optional[Any] = None,
     ) -> None:
         from ..core.messages import ClientConfirm
         from .chaos import StateSnapshotReply
@@ -558,7 +590,7 @@ class _LoadGen:
         self.n = n
         self.clients = sorted(genesis, key=repr)
         self.rep_map = _build_directory(n, list(genesis)).rep_map
-        self._stream = payment_stream(self.clients)
+        self._stream = payment_stream(self.clients, workload)
         self._sent_at: Dict[tuple, float] = {}
         #: identifier -> Payment, for every submitted-but-unconfirmed
         #: payment (retried during chaos drains).
@@ -783,7 +815,7 @@ async def _run_chaos(args, cluster, transport, loadgen, loop) -> Dict[str, Any]:
     )
 
     events = parse_timeline(args.chaos)
-    genesis = default_genesis(args.n)
+    genesis = default_genesis(args.n, getattr(args, "workload", None))
     directory = _build_directory(args.n, list(genesis))
     feed = LiveMonitorFeed(
         range(args.n), genesis, directory, deps=args.system == "astro2"
@@ -917,12 +949,36 @@ async def _run_chaos(args, cluster, transport, loadgen, loop) -> Dict[str, Any]:
     }
 
 
+def _resolve_loadgen_workload(args, genesis: Dict[str, int]) -> Optional[Any]:
+    """Workload object for the load generator, or ``None`` for legacy.
+
+    ``uniform`` (the unset-knob resolution) keeps the original
+    round-robin/amount-1 ``payment_stream`` — the shape every live and
+    chaos golden expectation was calibrated against; ``zipf`` and
+    ``merchant`` switch the stream to workload-drawn triples.
+    """
+    from ..workloads.base import make_workload, resolve_workload_name
+
+    name = resolve_workload_name(getattr(args, "workload", None))
+    if name == "uniform":
+        return None
+    return make_workload(
+        name, sorted(genesis, key=repr), seed=getattr(args, "seed", 0)
+    )
+
+
 async def _orchestrate(args, cluster: _ClusterProcs) -> Dict[str, Any]:
     loop = asyncio.get_running_loop()
     transport = TcpTransport(args.n, cluster.secret, clock=RealTimeClock(loop))
     await transport.start()
-    genesis = default_genesis(args.n)
-    loadgen = _LoadGen(transport, args.system, args.n, genesis)
+    genesis = default_genesis(args.n, getattr(args, "workload", None))
+    loadgen = _LoadGen(
+        transport,
+        args.system,
+        args.n,
+        genesis,
+        workload=_resolve_loadgen_workload(args, genesis),
+    )
 
     for node_id in range(args.n):
         await cluster.handshake(node_id, loop)
@@ -990,6 +1046,12 @@ def run_cluster(args) -> Dict[str, Any]:
         os.environ.setdefault("PYTHONHASHSEED", "0")
         ctx = multiprocessing.get_context("spawn")
     secret = args.secret.encode() if isinstance(args.secret, str) else args.secret
+    # Replica children rebuild genesis themselves via default_genesis's
+    # REPRO_WORKLOAD resolution, so an explicit --workload must reach
+    # them through the environment (inherited under fork and spawn).
+    workload = getattr(args, "workload", None)
+    if workload:
+        os.environ["REPRO_WORKLOAD"] = workload
     wal_dir = getattr(args, "wal_dir", None)
     if getattr(args, "chaos", None) and wal_dir is None:
         wal_dir = tempfile.mkdtemp(prefix="astro-wal-")
@@ -1026,6 +1088,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="post-load drain before the final settled count",
     )
     parser.add_argument("--seed", type=int, default=0, help="keychain seed")
+    parser.add_argument(
+        "--workload", choices=("uniform", "zipf", "merchant"), default=None,
+        help="payment demand distribution (default: the REPRO_WORKLOAD "
+             "environment knob, else uniform)",
+    )
     parser.add_argument(
         "--secret", default=DEFAULT_SECRET.decode(),
         help="shared cluster secret for the transport handshake",

@@ -1,6 +1,21 @@
 """Workloads and load drivers for the evaluation."""
 
+from .base import (
+    WORKLOAD_NAMES,
+    Workload,
+    make_workload,
+    resolve_workload_name,
+    workload_genesis,
+)
 from .drivers import ClosedLoopDriver, OpenLoopDriver
+from .merchant import (
+    MERCHANT_BALANCE,
+    MERCHANT_FRACTION,
+    MerchantWorkload,
+    is_merchant,
+    merchant_genesis,
+    merchant_split,
+)
 from .smallbank import (
     CROSS_SHARD_FRACTION,
     SMALLBANK_MIX,
@@ -12,10 +27,22 @@ from .smallbank import (
     smallbank_genesis,
 )
 from .uniform import UniformWorkload, uniform_genesis
+from .zipf import ZipfWorkload
 
 __all__ = [
+    "WORKLOAD_NAMES",
+    "Workload",
+    "make_workload",
+    "resolve_workload_name",
+    "workload_genesis",
     "ClosedLoopDriver",
     "OpenLoopDriver",
+    "MERCHANT_BALANCE",
+    "MERCHANT_FRACTION",
+    "MerchantWorkload",
+    "is_merchant",
+    "merchant_genesis",
+    "merchant_split",
     "CROSS_SHARD_FRACTION",
     "SMALLBANK_MIX",
     "SmallbankWorkload",
@@ -26,4 +53,5 @@ __all__ = [
     "smallbank_genesis",
     "UniformWorkload",
     "uniform_genesis",
+    "ZipfWorkload",
 ]

@@ -21,6 +21,12 @@ def uniform_genesis(
 ) -> Dict[ClientId, int]:
     """Genesis with ample balances — the paper's experiments "assume that
     all transactions can be settled immediately" (§VI-B)."""
+    if num_clients <= 0:
+        raise ValueError(
+            f"uniform_genesis needs at least one client; got {num_clients}"
+        )
+    if balance < 0:
+        raise ValueError(f"genesis balance must be >= 0; got {balance}")
     return {f"{prefix}-{i}": balance for i in range(num_clients)}
 
 
@@ -50,6 +56,14 @@ class UniformWorkload:
         """Next payment: round-robin spender, random beneficiary/amount."""
         clients = self.clients
         count = len(clients)
+        if count < 2:
+            # ``clients`` is a public, mutable list; without this check a
+            # population shrunk to one client makes the beneficiary
+            # redraw below spin forever.
+            raise ValueError(
+                "UniformWorkload needs at least two clients to draw a "
+                f"beneficiary distinct from the spender; have {count}"
+            )
         spender = clients[self._cursor]
         self._cursor = (self._cursor + 1) % count
         rand = self._random
@@ -63,6 +77,11 @@ class UniformWorkload:
         """Next payment for a fixed spender (closed-loop clients)."""
         clients = self.clients
         count = len(clients)
+        if count < 2:
+            raise ValueError(
+                "UniformWorkload needs at least two clients to draw a "
+                f"beneficiary distinct from the spender; have {count}"
+            )
         rand = self._random
         beneficiary = spender
         while beneficiary == spender:

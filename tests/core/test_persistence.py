@@ -145,6 +145,78 @@ def test_state_fingerprint_matches_shard_formula():
 
 
 # ---------------------------------------------------------------------------
+# Account-state captures: format-2 array encoding + legacy format-1
+# ---------------------------------------------------------------------------
+def _populated_state():
+    from repro.core.accounts import AccountState
+    from repro.core.payment import Payment
+
+    state = AccountState({f"client-{i}": 100 for i in range(6)})
+    state.settle_full(Payment("client-2", 1, "client-0", 7))
+    state.settle_full(Payment("client-2", 2, "client-4", 3))
+    state.add_client("late", 40)
+    state.credit("client-1", 11)
+    state.settle_full(Payment("late", 1, "client-5", 5))
+    return state
+
+
+def test_array_snapshot_roundtrip_format2():
+    from repro.core.accounts import AccountState
+    from repro.core.persistence import (
+        restore_account_state,
+        snapshot_account_state,
+    )
+
+    state = _populated_state()
+    payload = pickle.loads(pickle.dumps(snapshot_account_state(state)))
+    assert payload["format"] == 2
+    # Genesis accounts ship as raw slab bytes, not per-client entries.
+    assert isinstance(payload["balances"], bytes)
+    assert len(payload["balances"]) == 8 * payload["genesis_len"]
+
+    target = AccountState({f"client-{i}": 100 for i in range(6)})
+    restore_account_state(target, payload)
+    assert target.snapshot() == state.snapshot()
+    assert state_fingerprint(target) == state_fingerprint(state)
+    assert list(target.xlog("client-2")) == list(state.xlog("client-2"))
+    assert target.balance("late") == state.balance("late")
+
+
+def test_array_snapshot_rejects_mismatched_genesis():
+    from repro.core.accounts import AccountState
+    from repro.core.persistence import (
+        restore_account_state,
+        snapshot_account_state,
+    )
+
+    payload = snapshot_account_state(_populated_state())
+    other = AccountState({f"other-{i}": 100 for i in range(6)})
+    with pytest.raises(WalCorruption, match="genesis"):
+        restore_account_state(other, payload)
+
+
+def test_legacy_dict_snapshot_restores_onto_array_state():
+    from repro.core.accounts import AccountState, DictAccountState
+    from repro.core.payment import Payment
+    from repro.core.persistence import restore_account_state
+
+    legacy = DictAccountState({"a": 50, "b": 50})
+    legacy.settle_full(Payment("a", 1, "b", 9))
+    # The pre-refactor capture shape: plain dicts, as pickled by old WALs.
+    payload = {
+        "balances": dict(legacy.balances),
+        "seqnums": dict(legacy.seqnums),
+        "xlogs": {
+            owner: list(log._entries) for owner, log in legacy.xlogs.items()
+        },
+    }
+    target = AccountState({"a": 50, "b": 50})
+    restore_account_state(target, payload)
+    assert target.snapshot() == legacy.snapshot()
+    assert list(target.xlog("a")) == list(legacy.xlog("a"))
+
+
+# ---------------------------------------------------------------------------
 # Full replay round trips: run → crash (drop everything) → rebuild
 # ---------------------------------------------------------------------------
 def _run_workload(system, payments):
